@@ -1,0 +1,51 @@
+"""Shared infrastructure for the figure/table regeneration benchmarks.
+
+Each benchmark module regenerates one paper artifact (DESIGN.md §4).  The
+scenario runners are session-scoped — the dataset is generated and each
+index built exactly once — and every regenerated series is both printed
+and written under ``results/`` so EXPERIMENTS.md entries are traceable to
+a file.
+
+Scale: ``REPRO_SCALE`` (default 0.02).  At the default the whole suite
+runs in minutes; raising the scale toward 1.0 approaches the paper's
+instance sizes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (ExperimentRunner, records_to_series,
+                               scenario_s1_random, scenario_s2_merger,
+                               scenario_s3_random_dense, series_table)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def s1_runner() -> ExperimentRunner:
+    return ExperimentRunner(scenario_s1_random())
+
+
+@pytest.fixture(scope="session")
+def s2_runner() -> ExperimentRunner:
+    return ExperimentRunner(scenario_s2_merger())
+
+
+@pytest.fixture(scope="session")
+def s3_runner() -> ExperimentRunner:
+    return ExperimentRunner(scenario_s3_random_dense())
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[written to results/{name}.txt]")
+
+
+def emit_records(name: str, title: str, records) -> None:
+    d, series = records_to_series(records)
+    emit(name, series_table(title, d, series))

@@ -1,0 +1,51 @@
+"""T-FSG — §V-C in-text: GPUSpatial response time vs FSG resolution.
+
+Paper findings: too coarse a grid costs selectivity (more comparisons,
+buffer overflows, re-invocations); too fine a grid costs duplicates
+(larger raw result sets transferred back); ~50 cells per dimension is the
+sweet spot on Random; response time rises rapidly with d at any
+resolution.
+"""
+
+import pytest
+
+from repro.experiments import records_to_series, series_table
+
+from .conftest import emit
+
+RESOLUTIONS = (10, 25, 50, 75, 100)
+D_VALUES = (5.0, 15.0, 30.0)
+
+
+def test_fsg_resolution_sweep(benchmark, s1_runner):
+    def sweep():
+        records = {}
+        for res in RESOLUTIONS:
+            for d in D_VALUES:
+                rec, _ = s1_runner.run_one("gpu_spatial", d,
+                                           cells_per_dim=res)
+                records[(res, d)] = rec
+        return records
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = {f"{res} cells/dim":
+              [records[(res, d)].modeled_seconds for d in D_VALUES]
+              for res in RESOLUTIONS}
+    emit("ablation_fsg_resolution",
+         series_table("T-FSG — GPUSpatial response time vs grid "
+                      "resolution (Random)", list(D_VALUES), series))
+
+    # Response time rises rapidly with d at every resolution.
+    for res in RESOLUTIONS:
+        ts = [records[(res, d)].modeled_seconds for d in D_VALUES]
+        assert ts[-1] > 2.0 * ts[0]
+    # Coarse grids do more comparisons (poor selectivity) than the
+    # paper's chosen 50 cells/dim.
+    for d in D_VALUES:
+        assert records[(10, d)].comparisons \
+            > records[(50, d)].comparisons
+    # Finer grids inflate the raw result set via duplicates.
+    d = D_VALUES[-1]
+    raw_coarse = records[(25, d)].comparisons
+    raw_fine = records[(100, d)].comparisons
+    assert raw_fine != raw_coarse  # resolution genuinely matters

@@ -1,0 +1,35 @@
+"""T-SENS — reproduction-added ablation: calibration sensitivity.
+
+Re-prices the measured Fig. 5 profiles under every single-constant
+0.5x/2x perturbation of the cost models and reports whether the headline
+conclusion (GPUSpatioTemporal overtakes CPU-RTree within the Merger
+sweep) survives — evidence the reproduction's conclusions are not
+calibration artifacts.
+"""
+
+import pytest
+
+from repro.experiments.sensitivity import (collect_profiles,
+                                           sensitivity_analysis)
+
+from .conftest import emit
+
+
+def test_calibration_sensitivity(benchmark, s2_runner):
+    def run():
+        profile_set = collect_profiles(
+            s2_runner, ["cpu_rtree", "gpu_spatiotemporal"])
+        return sensitivity_analysis(profile_set)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["T-SENS — does 'GPUSpatioTemporal overtakes CPU on Merger' "
+             "survive constant perturbations?",
+             "=" * 78]
+    lines += [r.describe() for r in rows]
+    survived = sum(1 for r in rows if r.crossover_d is not None)
+    lines.append(f"\nconclusion holds at {survived}/{len(rows)} grid "
+                 "points (baseline included)")
+    emit("ablation_sensitivity", "\n".join(lines))
+
+    assert rows[0].crossover_d is not None      # baseline conclusion
+    assert survived >= len(rows) * 0.6          # robust majority

@@ -1,0 +1,76 @@
+"""T-SUBB — §V-C/V-D/V-E in-text: GPUSpatioTemporal vs subbin count v.
+
+Paper findings: at low d more subbins help (queries rarely straddle a
+subbin boundary); as d grows, queries overlap several subbins and default
+to the temporal scheme, so fewer subbins win; on the dense dataset the
+default rate is high even for small v (40 % at v=2, d=0.03 in the paper).
+"""
+
+import pytest
+
+from repro.experiments import series_table
+
+from .conftest import emit
+
+SUBBINS = (1, 2, 4, 8)
+
+
+def test_subbin_sweep_random(benchmark, s1_runner):
+    d_values = (5.0, 25.0, 50.0)
+
+    def sweep():
+        out = {}
+        for v in SUBBINS:
+            for d in d_values:
+                rec, _ = s1_runner.run_one(
+                    "gpu_spatiotemporal", d, num_subbins=v,
+                    strict_subbins=False)
+                out[(v, d)] = rec
+        return out
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = {f"v={v}": [records[(v, d)].modeled_seconds
+                         for d in d_values] for v in SUBBINS}
+    emit("ablation_subbins_random",
+         series_table("T-SUBB — GPUSpatioTemporal vs subbin count "
+                      "(Random)", list(d_values), series))
+
+    # At the smallest d, subbins beat v=1 (pure indirection overhead).
+    assert records[(4, 5.0)].modeled_seconds \
+        < records[(1, 5.0)].modeled_seconds
+    # Defaulting rises with d for any v > 1.
+    for v in SUBBINS[1:]:
+        defs = [records[(v, d)].defaulted_queries for d in d_values]
+        assert defs[-1] >= defs[0]
+
+
+def test_subbin_default_rate_dense(benchmark, s3_runner):
+    """Dense data defaults much more (the §V-E observation)."""
+
+    def sweep():
+        out = {}
+        for v in (2, 4):
+            for d in (0.03, 0.09):
+                rec, _ = s3_runner.run_one(
+                    "gpu_spatiotemporal", d, num_subbins=v,
+                    strict_subbins=False)
+                out[(v, d)] = rec
+        return out
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    nq = len(s3_runner.queries)
+    lines = ["T-SUBB — default-to-temporal rate on Random-dense",
+             "=" * 50]
+    for (v, d), rec in sorted(records.items()):
+        lines.append(f"v={v} d={d}: "
+                     f"{100.0 * rec.defaulted_queries / nq:5.1f}% "
+                     f"defaulted")
+    emit("ablation_subbins_dense", "\n".join(lines))
+
+    # More subbins => higher default probability at fixed d; larger d
+    # => higher default probability at fixed v.
+    assert records[(4, 0.09)].defaulted_queries \
+        >= records[(2, 0.09)].defaulted_queries
+    assert records[(4, 0.09)].defaulted_queries \
+        >= records[(4, 0.03)].defaulted_queries
+    assert records[(4, 0.09)].defaulted_queries > 0

@@ -1,0 +1,56 @@
+"""T-BINS — §V-C/§V-D in-text: GPUTemporal vs number of temporal bins.
+
+Paper findings: few bins => poor temporal selectivity => large candidate
+sets; response time falls with bin count and then saturates (no further
+selectivity gain past ~10,000 bins on Random, ~1,000 on Merger);
+independent of d throughout.
+"""
+
+import pytest
+
+from repro.experiments import series_table
+
+from .conftest import emit
+
+BIN_COUNTS = (10, 100, 1_000, 10_000)
+
+
+def test_temporal_bins_sweep(benchmark, s1_runner, s2_runner):
+    def sweep():
+        out = {}
+        for name, runner, d in [("random", s1_runner, 25.0),
+                                ("merger", s2_runner, 1.0)]:
+            for m in BIN_COUNTS:
+                rec, _ = runner.run_one("gpu_temporal", d, num_bins=m)
+                out[(name, m)] = rec
+        return out
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = {name: [records[(name, m)].modeled_seconds
+                     for m in BIN_COUNTS]
+              for name in ("random", "merger")}
+    emit("ablation_temporal_bins",
+         series_table("T-BINS — GPUTemporal response time vs bin count "
+                      "(columns: bins)", list(BIN_COUNTS), series))
+
+    for name in ("random", "merger"):
+        cmps = [records[(name, m)].comparisons for m in BIN_COUNTS]
+        times = [records[(name, m)].modeled_seconds for m in BIN_COUNTS]
+        # Selectivity improves monotonically with bin count ...
+        assert cmps == sorted(cmps, reverse=True)
+        # ... with a large initial win ...
+        assert times[0] > 2.0 * times[-1]
+        # ... and diminishing returns at the top end (saturation).
+        assert times[-2] / times[-1] < times[0] / times[-2] + 1.0
+
+
+def test_temporal_bins_d_independent(benchmark, s1_runner):
+    """The sweep's conclusion holds at any d: candidates don't change."""
+
+    def run():
+        a, _ = s1_runner.run_one("gpu_temporal", 5.0, num_bins=1000)
+        b, _ = s1_runner.run_one("gpu_temporal", 50.0, num_bins=1000)
+        return a, b
+
+    a, b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert a.comparisons == b.comparisons

@@ -1,0 +1,60 @@
+"""FIG5 — Fig. 5: S2 (Merger), CPU-RTree vs GPUTemporal vs
+GPUSpatioTemporal (GPUSpatial omitted, as in the paper).
+
+Paper shape (§V-D): CPU-RTree best at low d, overtaken by
+GPUSpatioTemporal at d ~ 1.5; GPUSpatioTemporal beats GPUTemporal across
+the board by >= ~20 %; at d = 0.001 the GPU is ~4.3x slower than the CPU;
+at d = 5 the GPU engines win.
+"""
+
+import pytest
+
+from repro.experiments import records_to_series, series_table
+
+from .conftest import emit
+
+ENGINES = ["cpu_rtree", "gpu_temporal", "gpu_spatiotemporal"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fig5_engine_search(benchmark, s2_runner, engine):
+    """Wall-clock of one representative search (d = 1.5) per engine."""
+    s2_runner.engine(engine)
+
+    def run():
+        rec, _ = s2_runner.run_one(engine, 1.5)
+        return rec
+
+    rec = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rec.result_items > 0
+
+
+def test_fig5_regenerate(benchmark, s2_runner):
+    def sweep():
+        return s2_runner.sweep(ENGINES)
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    d, series = records_to_series(records)
+    from repro.experiments.asciichart import line_chart
+    emit("fig5_merger",
+         series_table("Fig. 5 — S2 Merger: response time vs d "
+                      "(modeled seconds)", d, series)
+         + "\n\n" + line_chart(d, series, title="Fig. 5 (shape)"))
+
+    cpu = series["cpu_rtree"]
+    temporal = series["gpu_temporal"]
+    st = series["gpu_spatiotemporal"]
+    # CPU best at the smallest distances; paper quotes the GPU 4.3x
+    # slower at d = 0.001 (330.4 %) — we land within ~30 %.
+    assert temporal[0] / cpu[0] == pytest.approx(4.30, rel=0.35)
+    # GPUSpatioTemporal overtakes the CPU mid-sweep (paper: d ~ 1.5) and
+    # stays ahead at the largest distances.
+    crossover = [dd for dd, a, b in zip(d, st, cpu) if a <= b]
+    assert crossover and 0.5 <= min(crossover) <= 3.0
+    assert st[-1] < cpu[-1]
+    # GPUSpatioTemporal outperforms GPUTemporal across the board
+    # (paper: by at least 23.6 %).
+    assert all(a < b for a, b in zip(st, temporal))
+    # GPUTemporal's growth over the sweep stays moderate (paper: 2.8x,
+    # driven by result volume + incremental processing).
+    assert 1.5 < temporal[-1] / temporal[0] < 5.0

@@ -1,0 +1,40 @@
+"""repro — reproduction of Gowanlock & Casanova, "Indexing of
+Spatiotemporal Trajectories for Efficient Distance Threshold Similarity
+Searches on the GPU" (IPDPS Workshops 2015).
+
+Public surface
+--------------
+* :class:`DistanceThresholdSearch` — one façade over the paper's three GPU
+  engines and the CPU R-tree baseline.
+* :mod:`repro.data` — the Random / Random-dense / Merger-equivalent
+  dataset generators.
+* :mod:`repro.gpu` — the virtual-GPU substrate and cost models.
+* :mod:`repro.experiments` — scenario definitions and the figure/table
+  regeneration harness.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .core import (DistanceThresholdSearch, ENGINE_REGISTRY, ResultSet,
+                   SearchOutcome, SegmentArray, Trajectory,
+                   brute_force_search)
+from .data import (merger_dataset, queries_from_database, random_dataset,
+                   random_dense_dataset)
+from .engines import (CpuRTreeEngine, GpuSpatialEngine,
+                      GpuSpatioTemporalEngine, GpuTemporalEngine,
+                      HybridEngine)
+from .gpu import (CpuCostModel, GpuCostModel, TESLA_C2075, VirtualGPU,
+                  XEON_W3690)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CpuCostModel", "CpuRTreeEngine", "DistanceThresholdSearch",
+    "ENGINE_REGISTRY", "GpuCostModel", "GpuSpatialEngine",
+    "GpuSpatioTemporalEngine", "GpuTemporalEngine", "HybridEngine",
+    "ResultSet", "SearchOutcome", "SegmentArray", "TESLA_C2075",
+    "Trajectory", "VirtualGPU", "XEON_W3690", "brute_force_search",
+    "merger_dataset", "queries_from_database", "random_dataset",
+    "random_dense_dataset", "__version__",
+]

@@ -1,0 +1,7 @@
+"""Astrobiology application layer: the paper's motivating searches."""
+
+from .habitability import (HazardEpisode, Supernova, close_encounters,
+                           supernova_exposure)
+
+__all__ = ["HazardEpisode", "Supernova", "close_encounters",
+           "supernova_exposure"]

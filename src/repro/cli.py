@@ -1,0 +1,330 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate   build one of the paper's datasets and save it as .npz
+info       summarize a saved dataset (sizes, extents, densities)
+search     run a distance-threshold search (--verify for an independent
+           result check, --trace for a chrome://tracing timeline)
+knn        run the kNN extension over a saved dataset
+plan       rank the engines for a workload without running a search
+stats      index-statistics report for a dataset
+figures    regenerate the paper's figures (series tables) at a scale
+report     assemble results/ artifacts into results/REPORT.md
+calibrate  re-fit and verify the cost-model constants
+
+Examples
+--------
+python -m repro generate merger --scale 0.01 --out merger.npz
+python -m repro info merger.npz
+python -m repro search merger.npz --d 1.5 --method gpu_spatiotemporal \\
+    --num-bins 1000 --num-subbins 8 --query-trajectories 8
+python -m repro figures fig5 --scale 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.search import DistanceThresholdSearch, ENGINE_REGISTRY
+from .data.io import load_segments, save_segments
+from .data.merger import MergerConfig, merger_dataset
+from .data.queries import queries_from_database
+from .data.random_walk import random_dataset, random_dense_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU distance-threshold trajectory search "
+                    "(Gowanlock & Casanova 2015 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a dataset -> .npz")
+    p.add_argument("dataset",
+                   choices=["random", "random-dense", "merger"])
+    p.add_argument("--scale", type=float, default=0.01,
+                   help="instance scale relative to the paper (default "
+                        "0.01)")
+    p.add_argument("--out", required=True, help="output .npz path")
+
+    p = sub.add_parser("info", help="summarize a saved dataset")
+    p.add_argument("path")
+
+    p = sub.add_parser("search", help="run a distance-threshold search")
+    _add_search_args(p)
+    p.add_argument("--d", type=float, required=True,
+                   help="query distance threshold")
+    p.add_argument("--show", type=int, default=5,
+                   help="print the first N result items")
+    p.add_argument("--verify", action="store_true",
+                   help="independently verify the result set")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a chrome://tracing JSON of the modeled "
+                        "timeline (GPU engines only)")
+
+    p = sub.add_parser("knn", help="run the kNN extension")
+    _add_search_args(p)
+    p.add_argument("--k", type=int, required=True)
+
+    p = sub.add_parser("plan", help="rank engines for a workload")
+    _add_search_args(p)
+    p.add_argument("--d", type=float, required=True)
+
+    p = sub.add_parser("stats", help="index statistics for a dataset")
+    p.add_argument("database")
+    p.add_argument("--num-bins", type=int, default=1000)
+    p.add_argument("--num-subbins", type=int, default=4)
+    p.add_argument("--cells-per-dim", type=int, default=50)
+    p.add_argument("--segments-per-mbb", type=int, default=4)
+
+    p = sub.add_parser("report",
+                       help="assemble results/ into results/REPORT.md")
+    p.add_argument("--results-dir", default="results")
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("which",
+                   choices=["fig4", "fig5", "fig6", "fig7", "all"])
+    p.add_argument("--scale", type=float, default=None,
+                   help="override REPRO_SCALE for this run")
+
+    sub.add_parser("calibrate",
+                   help="re-fit and verify cost-model constants")
+    return parser
+
+
+def _add_search_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("database", help=".npz produced by 'generate'")
+    p.add_argument("--method", default="gpu_spatiotemporal",
+                   choices=sorted(ENGINE_REGISTRY))
+    p.add_argument("--queries", default=None,
+                   help=".npz query set (default: sample from the "
+                        "database)")
+    p.add_argument("--query-trajectories", type=int, default=4,
+                   help="trajectories to sample as queries when no "
+                        "--queries file is given")
+    p.add_argument("--num-bins", type=int, default=1000)
+    p.add_argument("--num-subbins", type=int, default=4)
+    p.add_argument("--cells-per-dim", type=int, default=50)
+    p.add_argument("--segments-per-mbb", type=int, default=4)
+    p.add_argument("--exclude-same-trajectory", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _engine_params(args: argparse.Namespace) -> dict:
+    method = args.method
+    if method == "gpu_temporal":
+        return {"num_bins": args.num_bins}
+    if method == "gpu_spatiotemporal":
+        return {"num_bins": args.num_bins,
+                "num_subbins": args.num_subbins,
+                "strict_subbins": False}
+    if method == "gpu_spatial":
+        return {"cells_per_dim": args.cells_per_dim}
+    return {"segments_per_mbb": args.segments_per_mbb}
+
+
+def _load_workload(args: argparse.Namespace):
+    database = load_segments(args.database)
+    if args.queries:
+        queries = load_segments(args.queries)
+    else:
+        queries = queries_from_database(
+            database, args.query_trajectories,
+            rng=np.random.default_rng(args.seed))
+    return database, queries
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "random":
+        db = random_dataset(scale=args.scale)
+    elif args.dataset == "random-dense":
+        db = random_dense_dataset(scale=args.scale)
+    else:
+        n = max(1, int(round(65_536 * args.scale)))
+        db = merger_dataset(cfg=MergerConfig(particles_per_disk=n))
+    save_segments(args.out, db)
+    print(f"wrote {args.out}: {len(db)} segments, "
+          f"{db.num_trajectories} trajectories")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    db = load_segments(args.path)
+    mins, maxs = db.spatial_bounds()
+    t_lo, t_hi = db.temporal_extent
+    ext = db.max_spatial_extent()
+    print(f"{args.path}")
+    print(f"  segments:        {len(db)}")
+    print(f"  trajectories:    {db.num_trajectories}")
+    print(f"  spatial bounds:  {np.round(mins, 3)} .. "
+          f"{np.round(maxs, 3)}")
+    print(f"  temporal extent: [{t_lo:.3f}, {t_hi:.3f}]")
+    print(f"  max segment spatial extent per dim: {np.round(ext, 4)}")
+    print(f"  device footprint: {db.nbytes() / (1 << 20):.1f} MiB")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    database, queries = _load_workload(args)
+    search = DistanceThresholdSearch(database, method=args.method,
+                                     **_engine_params(args))
+    outcome = search.run(
+        queries, args.d,
+        exclude_same_trajectory=args.exclude_same_trajectory)
+    rs = outcome.results
+    print(f"engine {args.method}: {len(rs)} results for "
+          f"{len(queries)} query segments at d = {args.d}")
+    print(f"modeled response time: {outcome.modeled_seconds:.6f} s "
+          f"(compute {outcome.modeled.compute:.6f}, transfers "
+          f"{outcome.modeled.transfers:.6f})")
+    prof = outcome.profile
+    if hasattr(prof, "num_kernel_invocations"):
+        print(f"kernel invocations: {prof.num_kernel_invocations}, "
+              f"comparisons: {prof.total_comparisons}, "
+              f"divergence: {prof.divergence_factor():.2f}")
+    for i in range(min(args.show, len(rs))):
+        print(f"  q{rs.q_ids[i]} ~ e{rs.e_ids[i]} during "
+              f"[{rs.t_lo[i]:.4f}, {rs.t_hi[i]:.4f}]")
+    if args.trace:
+        from .gpu.profiler import SearchProfile
+        if isinstance(prof, SearchProfile):
+            from .gpu.trace import write_trace
+            path = write_trace(prof, args.trace)
+            print(f"trace written to {path}")
+        else:
+            print("--trace requires a GPU engine; skipped")
+    if args.verify:
+        from .core.verify import verify_results
+        report = verify_results(
+            rs, queries, search.engine.database, args.d,
+            exclude_same_trajectory=args.exclude_same_trajectory)
+        print(f"verification: "
+              f"{'PASS' if report.ok else 'FAIL'} "
+              f"({report.items_checked} items, "
+              f"{report.pairs_spot_checked} spot pairs)")
+        if not report.ok:
+            return 1
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from .core.planner import plan_search
+    database, queries = _load_workload(args)
+    plans = plan_search(database, queries, args.d,
+                        num_bins=args.num_bins,
+                        num_subbins=args.num_subbins,
+                        cells_per_dim=args.cells_per_dim,
+                        segments_per_mbb=args.segments_per_mbb)
+    print(f"engine ranking for |D|={len(database)}, "
+          f"|Q|={len(queries)}, d={args.d}:")
+    for rank, p in enumerate(plans, 1):
+        print(f"  {rank}. {p.engine:20s} ~{p.est_seconds:.6f} s "
+              f"(~{p.est_candidates_per_query:.0f} candidates/query)")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .indexes import (FlatGrid, RTree, SpatioTemporalIndex,
+                          TemporalIndex, describe)
+    db = load_segments(args.database)
+    grid = FlatGrid.build(db, args.cells_per_dim)
+    print("FSG:", describe(grid, db))
+    print("Temporal:", describe(TemporalIndex.build(db, args.num_bins)))
+    print("SpatioTemporal:", describe(SpatioTemporalIndex.build(
+        db, args.num_bins, args.num_subbins, strict=False)))
+    print("RTree:", describe(RTree.build(
+        db, segments_per_mbb=args.segments_per_mbb)))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.paper_report import write_report
+    path = write_report(args.results_dir)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_knn(args: argparse.Namespace) -> int:
+    from .core.knn import TrajectoryKnn
+    database, queries = _load_workload(args)
+    knn = TrajectoryKnn(database, method=args.method,
+                        **_engine_params(args))
+    res = knn.query(queries, args.k,
+                    exclude_same_trajectory=args.exclude_same_trajectory)
+    found = int(np.count_nonzero(res.counts == args.k))
+    print(f"kNN (k={args.k}) over {len(queries)} query segments: "
+          f"{found} with full neighbour lists")
+    for i in range(min(5, len(res))):
+        ids = [int(v) for v in res.neighbor_ids[i, :res.counts[i]]]
+        ds = [round(float(v), 4)
+              for v in res.distances[i, :res.counts[i]]]
+        print(f"  q{queries.seg_ids[i]}: neighbours {ids} at {ds}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments import (fig4_random, fig5_merger,
+                              fig6_random_dense, fig7_ratios,
+                              records_to_series, series_table)
+    wanted = (["fig4", "fig5", "fig6", "fig7"] if args.which == "all"
+              else [args.which])
+    for which in wanted:
+        if which == "fig7":
+            ratios = fig7_ratios(args.scale)
+            print("Fig. 7 — GPU/CPU response-time ratios")
+            for scen, rows in ratios.items():
+                for d, eng, ratio in rows:
+                    print(f"  {scen:18s} d={d:<8g} {eng:20s} "
+                          f"{ratio:6.2f}x")
+            continue
+        fn = {"fig4": fig4_random, "fig5": fig5_merger,
+              "fig6": fig6_random_dense}[which]
+        records = fn(args.scale)
+        d, series = records_to_series(records)
+        print(series_table(f"{which} (modeled seconds)", d, series))
+        print()
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from .experiments.calibration import (PAPER_ANCHORS, fit_cpu_cycles,
+                                          fit_gpu_cycles,
+                                          verify_calibration)
+    gpu = fit_gpu_cycles([PAPER_ANCHORS["gpu_temporal_merger_d0.001"],
+                          PAPER_ANCHORS["gpu_st_v1_merger_equiv"]])
+    cpu = fit_cpu_cycles([PAPER_ANCHORS["cpu_rtree_merger_d0.001"]])
+    print("fitted GPU cycle costs:", {k: round(v, 1)
+                                      for k, v in gpu.cycles.items()})
+    print("fitted CPU cycle costs:", {k: round(v, 1)
+                                      for k, v in cpu.cycles.items()})
+    errors = verify_calibration()
+    print("shipped-constant residuals vs paper anchors:")
+    for name, err in errors.items():
+        print(f"  {name:32s} {100 * err:+6.1f} %")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": cmd_generate,
+        "info": cmd_info,
+        "search": cmd_search,
+        "knn": cmd_knn,
+        "plan": cmd_plan,
+        "stats": cmd_stats,
+        "report": cmd_report,
+        "figures": cmd_figures,
+        "calibrate": cmd_calibrate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

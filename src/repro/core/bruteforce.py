@@ -1,0 +1,54 @@
+"""Brute-force reference search: refine every (query, entry) pair.
+
+No index, no pruning — the all-pairs ground truth every engine is validated
+against.  Quadratic in ``|Q| x |D|`` so only suitable for tests and small
+examples, but completely trustworthy: the only nontrivial code it relies on
+is the interval solver, which is itself validated by dense numerical
+sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distance import compare_pairs
+from .result import ResultSet
+from .types import SegmentArray
+
+__all__ = ["brute_force_search"]
+
+# Refinement proceeds in bounded-size chunks of pairs so peak memory stays
+# flat even for largish test inputs.
+_CHUNK_PAIRS = 1 << 20
+
+
+def brute_force_search(
+    queries: SegmentArray,
+    entries: SegmentArray,
+    d: float,
+    *,
+    exclude_same_trajectory: bool = False,
+) -> ResultSet:
+    """Exact distance-threshold search by exhaustive refinement."""
+    nq, ne = len(queries), len(entries)
+    if nq == 0 or ne == 0:
+        return ResultSet()
+
+    parts: list[ResultSet] = []
+    rows_per_chunk = max(1, _CHUNK_PAIRS // ne)
+    e_all = np.arange(ne, dtype=np.int64)
+    for q0 in range(0, nq, rows_per_chunk):
+        q1 = min(q0 + rows_per_chunk, nq)
+        qs = np.repeat(np.arange(q0, q1, dtype=np.int64), ne)
+        es = np.tile(e_all, q1 - q0)
+        res = compare_pairs(queries, entries, qs, es, d,
+                            exclude_same_trajectory=exclude_same_trajectory)
+        if res.num_hits:
+            hit = res.mask
+            parts.append(ResultSet(
+                queries.seg_ids[qs[hit]],
+                entries.seg_ids[es[hit]],
+                res.t_lo[hit],
+                res.t_hi[hit],
+            ))
+    return ResultSet.from_parts(parts)

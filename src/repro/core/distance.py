@@ -1,0 +1,194 @@
+"""Continuous distance-threshold refinement for moving-point segments.
+
+This is the paper's ``compare(D[entryID], Q[queryID])`` primitive
+(Algorithms 1-3, line "result <- compare(...)").  Each 4-D line segment
+describes a point moving at constant velocity during its temporal extent.
+For a query segment ``q`` and an entry segment ``l`` the refinement must
+return the (possibly empty) time interval during which the two moving
+points are within Euclidean distance ``d`` of each other.
+
+Mathematics
+-----------
+Restrict to the temporal overlap ``[t0, t1]`` of the two segments (empty
+overlap => no result).  Within it, both positions are affine in ``t``, so
+the displacement vector is affine, ``delta(t) = u + w t``, and the squared
+distance is the quadratic
+
+    f(t) = |w|^2 t^2 + 2 (u.w) t + |u|^2.
+
+``f(t) <= d^2`` therefore holds on at most one closed interval, obtained
+from the roots of ``f(t) - d^2``.  Intersecting with ``[t0, t1]`` yields
+the reported interval.  Degenerate cases:
+
+* ``|w| = 0`` (identical velocities, incl. two stationary points): the
+  distance is constant — the answer is all of ``[t0, t1]`` or nothing.
+* zero temporal extent (``t_start == t_end``): the segment is a point
+  event; the overlap is at most an instant and the closed-interval
+  semantics still apply.
+
+Everything is vectorized over an arbitrary batch of (query, entry) pairs;
+this one function is the computational kernel that dominates response time
+in every engine, exactly as segment comparison dominates in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .types import SegmentArray
+
+__all__ = ["compare_pairs", "PairIntervals"]
+
+# Relative tolerance used when deciding whether the quadratic coefficient
+# is numerically zero (parallel motion).  Scaled by the magnitude of the
+# velocities involved so the test is unit-free.
+_EPS = 1e-30
+
+
+@dataclass(frozen=True)
+class PairIntervals:
+    """Result of refining a batch of (query, entry) candidate pairs.
+
+    ``mask`` flags the pairs whose moving points come within ``d`` during
+    their temporal overlap; ``t_lo``/``t_hi`` give the closed interval for
+    those pairs (undefined where ``mask`` is False).
+    """
+
+    mask: np.ndarray
+    t_lo: np.ndarray
+    t_hi: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.mask.shape[0])
+
+    @property
+    def num_hits(self) -> int:
+        return int(np.count_nonzero(self.mask))
+
+
+def _interp_endpoints(seg: SegmentArray, idx: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]:
+    """Return (p0, v, ts, te) for segments ``idx``: p(t) = p0 + v*(t-ts)."""
+    p0 = np.stack([seg.xs[idx], seg.ys[idx], seg.zs[idx]], axis=1)
+    p1 = np.stack([seg.xe[idx], seg.ye[idx], seg.ze[idx]], axis=1)
+    ts = seg.ts[idx]
+    te = seg.te[idx]
+    dt = te - ts
+    # Zero-extent segments are stationary points: velocity 0.
+    v = np.divide(p1 - p0, dt[:, None],
+                  out=np.zeros_like(p0), where=dt[:, None] > 0)
+    return p0, v, ts, te
+
+
+def compare_pairs(
+    queries: SegmentArray,
+    entries: SegmentArray,
+    q_idx: np.ndarray,
+    e_idx: np.ndarray,
+    d: float,
+    *,
+    exclude_same_trajectory: bool = False,
+) -> PairIntervals:
+    """Refine candidate pairs ``(q_idx[i], e_idx[i])`` at threshold ``d``.
+
+    Parameters
+    ----------
+    queries, entries:
+        The query set ``Q`` and database ``D``.
+    q_idx, e_idx:
+        Equal-length integer arrays of row indices into ``queries`` and
+        ``entries`` — the candidate pairs produced by an index.
+    d:
+        The query distance threshold (``d >= 0``).
+    exclude_same_trajectory:
+        When the query set is drawn from the database itself (the paper's
+        astrophysics scenario ii), comparisons of a trajectory against its
+        own segments are meaningless; this drops pairs whose trajectory ids
+        match.
+
+    Returns
+    -------
+    PairIntervals with one slot per input pair.
+    """
+    if d < 0:
+        raise ValueError("query distance d must be non-negative")
+    q_idx = np.asarray(q_idx, dtype=np.int64)
+    e_idx = np.asarray(e_idx, dtype=np.int64)
+    if q_idx.shape != e_idx.shape or q_idx.ndim != 1:
+        raise ValueError("q_idx and e_idx must be equal-length 1-D arrays")
+    n = q_idx.shape[0]
+    if n == 0:
+        z = np.zeros(0)
+        return PairIntervals(np.zeros(0, dtype=bool), z, z)
+
+    qp0, qv, qts, qte = _interp_endpoints(queries, q_idx)
+    ep0, ev, ets, ete = _interp_endpoints(entries, e_idx)
+
+    # Temporal overlap [t0, t1]; closed-interval semantics (touching counts).
+    t0 = np.maximum(qts, ets)
+    t1 = np.minimum(qte, ete)
+    alive = t0 <= t1
+    if exclude_same_trajectory:
+        alive &= queries.traj_ids[q_idx] != entries.traj_ids[e_idx]
+
+    # delta(t) = u + w t   with positions expressed as p0 + v*(t - ts).
+    w = ev - qv
+    u = (ep0 - qp0) - ev * ets[:, None] + qv * qts[:, None]
+
+    a = np.einsum("ij,ij->i", w, w)
+    b = 2.0 * np.einsum("ij,ij->i", u, w)
+    c = np.einsum("ij,ij->i", u, u) - d * d
+
+    t_lo = np.empty(n)
+    t_hi = np.empty(n)
+    mask = np.zeros(n, dtype=bool)
+
+    # Case 1: constant relative distance (a == 0 numerically).
+    const = alive & (a <= _EPS)
+    hit_const = const & (c <= 0.0)
+    t_lo[hit_const] = t0[hit_const]
+    t_hi[hit_const] = t1[hit_const]
+    mask[hit_const] = True
+
+    # Case 2: genuine quadratic.  f <= 0 between the roots.
+    quad = alive & (a > _EPS)
+    if np.any(quad):
+        aq, bq, cq = a[quad], b[quad], c[quad]
+        disc = bq * bq - 4.0 * aq * cq
+        has_roots = disc >= 0.0
+        sq = np.sqrt(np.maximum(disc, 0.0))
+        r_lo = (-bq - sq) / (2.0 * aq)
+        r_hi = (-bq + sq) / (2.0 * aq)
+        lo = np.maximum(r_lo, t0[quad])
+        hi = np.minimum(r_hi, t1[quad])
+        hit = has_roots & (lo <= hi)
+        quad_idx = np.flatnonzero(quad)[hit]
+        t_lo[quad_idx] = lo[hit]
+        t_hi[quad_idx] = hi[hit]
+        mask[quad_idx] = True
+
+    return PairIntervals(mask, t_lo, t_hi)
+
+
+def distance_at(
+    queries: SegmentArray,
+    entries: SegmentArray,
+    qi: int,
+    ei: int,
+    t: np.ndarray,
+) -> np.ndarray:
+    """Exact distance between moving points of pair ``(qi, ei)`` at times
+    ``t`` — a slow, obviously-correct helper used by the test suite to
+    cross-check :func:`compare_pairs` by dense sampling."""
+    t = np.asarray(t, dtype=np.float64)
+    out = np.empty_like(t)
+    qp0, qv, qts, _ = _interp_endpoints(queries, np.array([qi]))
+    ep0, ev, ets, _ = _interp_endpoints(entries, np.array([ei]))
+    for k, tk in enumerate(t):
+        pq = qp0[0] + qv[0] * (tk - qts[0])
+        pe = ep0[0] + ev[0] * (tk - ets[0])
+        out[k] = float(np.linalg.norm(pq - pe))
+    return out

@@ -1,0 +1,135 @@
+"""Result sets for distance-threshold searches.
+
+The search is *continuous* (paper §III): every reported item is a
+``(query segment, entry segment, [t_lo, t_hi])`` triple.  On the GPU the
+result set is accumulated in a fixed-capacity device buffer through atomic
+appends; duplicates can occur (GPUSpatial may examine the same candidate
+through several grid cells) and are filtered on the host.  This module is
+that host-side machinery, plus trajectory-level post-processing used by the
+astrophysics application examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ResultSet", "merge_intervals"]
+
+
+@dataclass
+class ResultSet:
+    """A set of ``(q_id, e_id, t_lo, t_hi)`` result items.
+
+    ``q_ids``/``e_ids`` are *segment ids* (not row indices), so results of
+    engines with different internal orderings compare equal.
+    """
+
+    q_ids: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64))
+    e_ids: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64))
+    t_lo: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    t_hi: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def __post_init__(self) -> None:
+        n = len(self.q_ids)
+        if not (len(self.e_ids) == len(self.t_lo) == len(self.t_hi) == n):
+            raise ValueError("result component length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.q_ids.shape[0])
+
+    # -- assembly -----------------------------------------------------------
+
+    @classmethod
+    def from_parts(cls, parts: list["ResultSet"]) -> "ResultSet":
+        parts = [p for p in parts if len(p) > 0]
+        if not parts:
+            return cls()
+        return cls(
+            np.concatenate([p.q_ids for p in parts]),
+            np.concatenate([p.e_ids for p in parts]),
+            np.concatenate([p.t_lo for p in parts]),
+            np.concatenate([p.t_hi for p in parts]),
+        )
+
+    def deduplicated(self) -> "ResultSet":
+        """Drop duplicate ``(q_id, e_id)`` pairs (host-side filter, §IV-A.2).
+
+        GPUSpatial can refine the same candidate several times (its id can
+        occur in the lookup array once per overlapped grid cell), producing
+        byte-identical duplicates; keep the first of each pair.
+        """
+        if len(self) == 0:
+            return ResultSet()
+        order = np.lexsort((self.e_ids, self.q_ids))
+        q, e = self.q_ids[order], self.e_ids[order]
+        keep = np.ones(len(self), dtype=bool)
+        keep[1:] = (q[1:] != q[:-1]) | (e[1:] != e[:-1])
+        sel = order[keep]
+        sel.sort()  # preserve append order among the survivors
+        return ResultSet(self.q_ids[sel], self.e_ids[sel],
+                         self.t_lo[sel], self.t_hi[sel])
+
+    def canonical(self) -> "ResultSet":
+        """Deterministic ordering for engine-vs-engine comparisons."""
+        rs = self.deduplicated()
+        order = np.lexsort((rs.e_ids, rs.q_ids))
+        return ResultSet(rs.q_ids[order], rs.e_ids[order],
+                         rs.t_lo[order], rs.t_hi[order])
+
+    def equivalent_to(self, other: "ResultSet", *, atol: float = 1e-9
+                      ) -> bool:
+        """True when both sets report the same pairs with the same
+        intervals (up to ``atol``), regardless of order or duplicates."""
+        a, b = self.canonical(), other.canonical()
+        if len(a) != len(b):
+            return False
+        return (np.array_equal(a.q_ids, b.q_ids)
+                and np.array_equal(a.e_ids, b.e_ids)
+                and np.allclose(a.t_lo, b.t_lo, atol=atol)
+                and np.allclose(a.t_hi, b.t_hi, atol=atol))
+
+    # -- application-level views ---------------------------------------------
+
+    def pairs(self) -> set[tuple[int, int]]:
+        return set(zip(self.q_ids.tolist(), self.e_ids.tolist()))
+
+    def by_trajectory(
+        self,
+        q_traj_of_seg: dict[int, int],
+        e_traj_of_seg: dict[int, int],
+    ) -> dict[tuple[int, int], list[tuple[float, float]]]:
+        """Aggregate segment-level items to trajectory-level proximity
+        episodes: per ``(query traj, entry traj)`` pair, the merged list of
+        time intervals during which the trajectories were within ``d``.
+
+        This is the form the astrophysics application consumes ("find the
+        stars within distance d of a supernova, and when").
+        """
+        buckets: dict[tuple[int, int], list[tuple[float, float]]] = {}
+        for q, e, lo, hi in zip(self.q_ids.tolist(), self.e_ids.tolist(),
+                                self.t_lo.tolist(), self.t_hi.tolist()):
+            key = (q_traj_of_seg[q], e_traj_of_seg[e])
+            buckets.setdefault(key, []).append((lo, hi))
+        return {k: merge_intervals(v) for k, v in buckets.items()}
+
+
+def merge_intervals(intervals: list[tuple[float, float]],
+                    *, eps: float = 1e-12) -> list[tuple[float, float]]:
+    """Union a list of closed intervals; intervals closer than ``eps`` are
+    coalesced (adjacent segments of one trajectory meet at a shared
+    timestep, so refinement naturally produces abutting intervals)."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [ordered[0]]
+    for lo, hi in ordered[1:]:
+        mlo, mhi = merged[-1]
+        if lo <= mhi + eps:
+            merged[-1] = (mlo, max(mhi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged

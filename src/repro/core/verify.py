@@ -1,0 +1,125 @@
+"""Independent result verification.
+
+Engines are tested against brute force in the test suite, but a
+downstream user running a new workload deserves a runtime check too.
+This module verifies a result set against the database it came from,
+without trusting any engine internals:
+
+* **soundness** — every reported ``(q, e, [t_lo, t_hi])`` satisfies the
+  distance bound at sampled instants of its interval;
+* **completeness (spot check)** — random (query, entry) pairs are
+  refined directly; any hit must appear in the result set;
+* **interval sanity** — intervals lie inside both segments' temporal
+  extents.
+
+Exposed on the CLI as part of ``search --verify``-style workflows and
+used by the integration tests as a second, engine-independent oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .distance import compare_pairs, distance_at
+from .result import ResultSet
+from .types import SegmentArray
+
+__all__ = ["VerificationReport", "verify_results"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of a verification pass."""
+
+    items_checked: int
+    pairs_spot_checked: int
+    soundness_violations: list[tuple[int, int]] = field(
+        default_factory=list)
+    completeness_violations: list[tuple[int, int]] = field(
+        default_factory=list)
+    interval_violations: list[tuple[int, int]] = field(
+        default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.soundness_violations
+                    or self.completeness_violations
+                    or self.interval_violations)
+
+    def raise_on_failure(self) -> None:
+        if not self.ok:
+            raise AssertionError(
+                f"verification failed: "
+                f"{len(self.soundness_violations)} soundness, "
+                f"{len(self.completeness_violations)} completeness, "
+                f"{len(self.interval_violations)} interval violations")
+
+
+def verify_results(
+    results: ResultSet,
+    queries: SegmentArray,
+    database: SegmentArray,
+    d: float,
+    *,
+    exclude_same_trajectory: bool = False,
+    max_items: int = 2_000,
+    spot_pairs: int = 2_000,
+    samples_per_interval: int = 7,
+    rng: np.random.Generator | None = None,
+    tol: float = 1e-6,
+) -> VerificationReport:
+    """Check a result set for soundness and (sampled) completeness."""
+    rng = rng or np.random.default_rng(0)
+    q_row = {int(s): r for r, s in enumerate(queries.seg_ids)}
+    e_row = {int(s): r for r, s in enumerate(database.seg_ids)}
+
+    # -- soundness + interval sanity on a sample of reported items -------
+    n = len(results)
+    take = (np.arange(n) if n <= max_items
+            else np.sort(rng.choice(n, size=max_items, replace=False)))
+    sound_bad: list[tuple[int, int]] = []
+    interval_bad: list[tuple[int, int]] = []
+    for i in take:
+        q = int(results.q_ids[i])
+        e = int(results.e_ids[i])
+        qi, ei = q_row[q], e_row[e]
+        lo, hi = float(results.t_lo[i]), float(results.t_hi[i])
+        t0 = max(queries.ts[qi], database.ts[ei])
+        t1 = min(queries.te[qi], database.te[ei])
+        if not (t0 - tol <= lo <= hi <= t1 + tol):
+            interval_bad.append((q, e))
+            continue
+        ts = np.linspace(lo, hi, samples_per_interval)
+        dist = distance_at(queries, database, qi, ei, ts)
+        if np.any(dist > d + tol * max(1.0, d)):
+            sound_bad.append((q, e))
+
+    # -- completeness spot check ------------------------------------------
+    reported = results.pairs()
+    nq, ne = len(queries), len(database)
+    k = min(spot_pairs, nq * ne)
+    qi = rng.integers(0, nq, size=k)
+    ei = rng.integers(0, ne, size=k)
+    ref = compare_pairs(queries, database, qi, ei, d,
+                        exclude_same_trajectory=exclude_same_trajectory)
+    missing: list[tuple[int, int]] = []
+    hit_idx = np.flatnonzero(ref.mask)
+    for j in hit_idx:
+        # Grazing contacts (interval of ~zero measure) may round either
+        # way across implementations; only flag clear misses.
+        if ref.t_hi[j] - ref.t_lo[j] < tol:
+            continue
+        pair = (int(queries.seg_ids[qi[j]]),
+                int(database.seg_ids[ei[j]]))
+        if pair not in reported:
+            missing.append(pair)
+
+    return VerificationReport(
+        items_checked=int(take.size),
+        pairs_spot_checked=k,
+        soundness_violations=sound_bad,
+        completeness_violations=missing,
+        interval_violations=interval_bad,
+    )

@@ -1,0 +1,50 @@
+"""Dataset persistence: SegmentArray <-> compressed ``.npz`` files.
+
+Generating the Merger-equivalent dataset involves an N-body integration;
+experiments cache the generated databases on disk so sweeps over query
+distance re-load instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..core.types import SegmentArray
+
+__all__ = ["save_segments", "load_segments", "cached_dataset"]
+
+_FIELDS = ("xs", "ys", "zs", "ts", "xe", "ye", "ze", "te",
+           "traj_ids", "seg_ids")
+
+
+def save_segments(path: str | Path, segments: SegmentArray) -> None:
+    """Write a segment database to ``path`` (npz, compressed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{f: getattr(segments, f) for f in _FIELDS})
+
+
+def load_segments(path: str | Path) -> SegmentArray:
+    """Load a segment database written by :func:`save_segments`."""
+    with np.load(path) as data:
+        missing = [f for f in _FIELDS if f not in data]
+        if missing:
+            raise ValueError(f"{path}: not a segment database "
+                             f"(missing {missing})")
+        return SegmentArray(*(data[f] for f in _FIELDS))
+
+
+def cached_dataset(path: str | Path, generate) -> SegmentArray:
+    """Load ``path`` if present, else call ``generate()`` and cache it.
+
+    ``generate`` is a zero-argument callable returning a SegmentArray.
+    """
+    path = Path(path)
+    if path.exists():
+        return load_segments(path)
+    segments = generate()
+    save_segments(path, segments)
+    return segments

@@ -1,0 +1,44 @@
+"""Query-set construction (paper §V-B).
+
+The paper's query sets are trajectory subsets matching the dataset's
+structure: "a query set with 265 trajectories each with 193 timesteps for
+a total of 50,880 query segments".  We support both drawing query
+trajectories from the database itself (the astrophysics use case — every
+star is queried against the rest) and generating fresh ones from the same
+distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.types import SegmentArray
+
+__all__ = ["queries_from_database", "query_trajectory_ids"]
+
+
+def query_trajectory_ids(database: SegmentArray, num_trajectories: int,
+                         rng: np.random.Generator | None = None
+                         ) -> np.ndarray:
+    """Pick ``num_trajectories`` distinct trajectory ids from the database."""
+    ids = np.unique(database.traj_ids)
+    if num_trajectories > ids.shape[0]:
+        raise ValueError(
+            f"requested {num_trajectories} query trajectories but the "
+            f"database holds only {ids.shape[0]}")
+    rng = rng or np.random.default_rng(17)
+    return np.sort(rng.choice(ids, size=num_trajectories, replace=False))
+
+
+def queries_from_database(database: SegmentArray, num_trajectories: int,
+                          rng: np.random.Generator | None = None
+                          ) -> SegmentArray:
+    """Extract a query set of whole trajectories from the database.
+
+    The returned SegmentArray keeps the original segment and trajectory
+    ids, so ``exclude_same_trajectory=True`` searches behave correctly
+    (a star is never reported near itself).
+    """
+    chosen = query_trajectory_ids(database, num_trajectories, rng)
+    mask = np.isin(database.traj_ids, chosen)
+    return database.take(np.flatnonzero(mask))

@@ -1,0 +1,12 @@
+"""Multi-node search: database partitioning, a simulated GPU cluster
+(the deployment §III motivates), and an MPI-style SPMD driver."""
+
+from .cluster import ClusterProfile, GpuCluster
+from .comm import Communicator, LoopbackComm, Mpi4pyComm, world
+from .driver import SpmdSearchDriver, run_spmd_search
+from .partition import PARTITION_STRATEGIES, partition_database
+
+__all__ = ["ClusterProfile", "Communicator", "GpuCluster",
+           "LoopbackComm", "Mpi4pyComm", "PARTITION_STRATEGIES",
+           "SpmdSearchDriver", "partition_database", "run_spmd_search",
+           "world"]

@@ -1,0 +1,130 @@
+"""Communicator abstraction for distributed search drivers.
+
+The cluster the paper envisions (§III) would realistically be driven by
+MPI — each rank owning one GPU node's shard.  To keep the repository
+runnable without an MPI installation while still providing the real
+driver, the driver is written against a minimal communicator protocol
+(the mpi4py surface it needs: ``rank``/``size``/``bcast``/``gather``):
+
+* :class:`LoopbackComm` — in-process, single- or multi-"rank" (ranks
+  executed sequentially); used by the tests and by default.
+* :class:`Mpi4pyComm` — a thin adapter over ``mpi4py.MPI.COMM_WORLD``;
+  importable only where mpi4py exists, letting the same driver run
+  under ``mpiexec -n <nodes> python script.py`` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["Communicator", "LoopbackComm", "Mpi4pyComm", "world"]
+
+
+@runtime_checkable
+class Communicator(Protocol):
+    """The subset of the mpi4py communicator surface the driver uses."""
+
+    @property
+    def rank(self) -> int: ...
+
+    @property
+    def size(self) -> int: ...
+
+    def bcast(self, obj: Any, root: int = 0) -> Any: ...
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None: ...
+
+
+class LoopbackComm:
+    """An in-process communicator.
+
+    A single instance behaves as one rank of an N-rank world; create the
+    full world with :meth:`make_world`, which returns one communicator
+    per rank sharing a mailbox, so sequential execution of the ranks
+    produces exactly the collective semantics the MPI driver relies on.
+    """
+
+    def __init__(self, rank: int = 0, size: int = 1,
+                 _shared: dict | None = None) -> None:
+        if not 0 <= rank < size:
+            raise ValueError("rank must be in [0, size)")
+        self._rank = rank
+        self._size = size
+        self._shared = _shared if _shared is not None else {}
+
+    @classmethod
+    def make_world(cls, size: int) -> list["LoopbackComm"]:
+        shared: dict = {}
+        return [cls(rank, size, shared) for rank in range(size)]
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        key = ("bcast", root)
+        if self._rank == root:
+            self._shared[key] = obj
+        if key not in self._shared:
+            raise RuntimeError(
+                "loopback bcast read before the root seeded it; run "
+                "the root's bcast first (see run_spmd_search)")
+        return self._shared[key]
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        key = ("gather", root)
+        box = self._shared.setdefault(key, {})
+        box[self._rank] = obj
+        if self._rank == root:
+            # Root reads after all ranks ran (sequential execution
+            # guarantees this in tests; misuse raises loudly).
+            if len(box) != self._size:
+                raise RuntimeError(
+                    "gather at root before all ranks contributed "
+                    f"({len(box)}/{self._size})")
+            out = [box[r] for r in range(self._size)]
+            del self._shared[key]
+            return out
+        return None
+
+
+class Mpi4pyComm:
+    """Adapter over ``mpi4py.MPI.COMM_WORLD`` (requires mpi4py)."""
+
+    def __init__(self, comm=None) -> None:
+        if comm is None:
+            try:
+                from mpi4py import MPI
+            except ImportError as exc:  # pragma: no cover - no MPI here
+                raise ImportError(
+                    "mpi4py is not installed; use LoopbackComm or "
+                    "install mpi4py to run under mpiexec") from exc
+            comm = MPI.COMM_WORLD
+        self._comm = comm
+
+    @property
+    def rank(self) -> int:
+        return self._comm.Get_rank()
+
+    @property
+    def size(self) -> int:
+        return self._comm.Get_size()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return self._comm.bcast(obj, root=root)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        return self._comm.gather(obj, root=root)
+
+
+def world() -> Communicator:
+    """The best available world communicator: MPI when present,
+    single-rank loopback otherwise."""
+    try:
+        return Mpi4pyComm()
+    except ImportError:
+        return LoopbackComm()

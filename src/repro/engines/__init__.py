@@ -1,0 +1,17 @@
+"""Search engines: the paper's three GPU schemes, the CPU baseline, and
+the future-work hybrid."""
+
+from .base import GpuEngineBase, RangeBatch, SearchEngine
+from .cpu_rtree import CpuRTreeEngine, tune_segments_per_mbb
+from .cpu_scan import CpuScanEngine
+from .gpu_spatial import GpuSpatialEngine
+from .gpu_spatiotemporal import GpuSpatioTemporalEngine
+from .gpu_temporal import GpuTemporalEngine
+from .hybrid import HybridEngine, HybridProfile
+
+__all__ = [
+    "CpuRTreeEngine", "CpuScanEngine", "GpuEngineBase", "GpuSpatialEngine",
+    "GpuSpatioTemporalEngine", "GpuTemporalEngine", "HybridEngine",
+    "HybridProfile", "RangeBatch", "SearchEngine",
+    "tune_segments_per_mbb",
+]

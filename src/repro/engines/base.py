@@ -1,0 +1,203 @@
+"""Common machinery shared by the three GPU search engines.
+
+All engines implement the same contract: ``search(queries, d)`` returns a
+``(ResultSet, profile)`` pair — the exact result set plus the execution
+record the cost model turns into modeled response time.
+
+The GPU engines share the paper's execution skeleton:
+
+* one query segment per GPU thread (load balancing, §IV);
+* a fixed-capacity device result buffer filled through atomic appends;
+* when the buffer cannot hold everything, the query set is processed
+  *incrementally*: queries that could not publish their results are
+  re-processed by a follow-up kernel invocation after the host drains the
+  buffer (§V-D/V-E) — the engines implement this loop once, here.
+
+Within one invocation the model completes queries in thread-id order
+(first-fit): a deterministic idealization of the hardware's nondeterministic
+atomic interleaving.  A query's results are published all-or-nothing so a
+re-processed query never double-reports.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.distance import compare_pairs
+from ..core.result import ResultSet
+from ..core.types import SegmentArray
+from ..gpu.atomics import AtomicResultBuffer
+from ..gpu.device import VirtualGPU
+from ..gpu.profiler import CpuSearchProfile, SearchProfile
+
+__all__ = ["SearchEngine", "GpuEngineBase", "RangeBatch",
+           "refine_ranges", "first_fit_accept"]
+
+#: Upper bound on candidate pairs refined per vectorized chunk; keeps peak
+#: host memory flat independent of the workload.
+MAX_PAIRS_PER_CHUNK = 1 << 21
+
+#: Bytes per query segment shipped host->device (8 coords + 2 ids, f64/i64).
+QUERY_ITEM_BYTES = 80
+
+#: Safety valve: a pathological configuration (e.g. a buffer smaller than a
+#: single query's output) would otherwise loop forever.
+MAX_KERNEL_INVOCATIONS = 256
+
+
+class SearchEngine(abc.ABC):
+    """A distance-threshold search engine bound to a database."""
+
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def search(self, queries: SegmentArray, d: float, *,
+               exclude_same_trajectory: bool = False
+               ) -> tuple[ResultSet, SearchProfile | CpuSearchProfile]:
+        """Run the search; returns the result set and execution profile."""
+
+
+@dataclass
+class RangeBatch:
+    """Per-thread candidate specifications for one kernel invocation.
+
+    ``q_rows[i]`` is the query row thread ``i`` handles; its candidates are
+    ``candidate_rows[cand_start[i] : cand_start[i+1]]`` (row indices into
+    the engine's device-resident database ordering).
+    """
+
+    q_rows: np.ndarray
+    candidate_rows: np.ndarray
+    cand_start: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.cand_start.shape != (self.q_rows.shape[0] + 1,):
+            raise ValueError("cand_start must have len(q_rows)+1 entries")
+
+    @property
+    def num_threads(self) -> int:
+        return int(self.q_rows.shape[0])
+
+    def lengths(self) -> np.ndarray:
+        return np.diff(self.cand_start)
+
+
+def refine_ranges(
+    queries: SegmentArray,
+    database: SegmentArray,
+    batch: RangeBatch,
+    d: float,
+    *,
+    exclude_same_trajectory: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Refine every (thread, candidate) pair of a batch, chunked.
+
+    Returns ``(hits_per_thread, q_rows, e_rows, t_lo, t_hi)`` where the
+    last four arrays list the surviving pairs in thread order — the order
+    in which threads would publish to the result buffer.
+    """
+    lens = batch.lengths()
+    nthreads = batch.num_threads
+    hits_per_thread = np.zeros(nthreads, dtype=np.int64)
+    out_q, out_e, out_lo, out_hi = [], [], [], []
+
+    t = 0
+    while t < nthreads:
+        # Take threads until the chunk pair budget is reached.
+        t_end = t
+        pairs = 0
+        while t_end < nthreads and (pairs == 0
+                                    or pairs + lens[t_end]
+                                    <= MAX_PAIRS_PER_CHUNK):
+            pairs += lens[t_end]
+            t_end += 1
+        span = slice(batch.cand_start[t], batch.cand_start[t_end])
+        e_idx = batch.candidate_rows[span]
+        q_idx = np.repeat(batch.q_rows[t:t_end], lens[t:t_end])
+        local_thread = np.repeat(np.arange(t, t_end), lens[t:t_end])
+        res = compare_pairs(queries, database, q_idx, e_idx, d,
+                            exclude_same_trajectory=exclude_same_trajectory)
+        if res.num_hits:
+            hit = res.mask
+            np.add.at(hits_per_thread, local_thread[hit], 1)
+            out_q.append(q_idx[hit])
+            out_e.append(e_idx[hit])
+            out_lo.append(res.t_lo[hit])
+            out_hi.append(res.t_hi[hit])
+        t = t_end
+
+    if out_q:
+        return (hits_per_thread, np.concatenate(out_q),
+                np.concatenate(out_e), np.concatenate(out_lo),
+                np.concatenate(out_hi))
+    z = np.zeros(0)
+    zi = np.zeros(0, dtype=np.int64)
+    return hits_per_thread, zi, zi.copy(), z, z.copy()
+
+
+def first_fit_accept(hits_per_thread: np.ndarray,
+                     free_items: int) -> np.ndarray:
+    """Which threads publish their results this invocation.
+
+    Threads complete in id order; a thread's batch is all-or-nothing.
+    Threads with zero hits always complete (their empty append trivially
+    succeeds).  Returns a boolean accept mask.
+    """
+    cum = np.cumsum(hits_per_thread)
+    fits = cum <= free_items
+    # After the first non-fitting thread, later non-empty threads are
+    # rejected even if they would individually fit: the tail counter has
+    # already passed capacity in the deterministic in-order model.
+    if np.all(fits):
+        return np.ones_like(fits)
+    first_reject = int(np.argmin(fits))
+    accept = np.zeros_like(fits)
+    accept[:first_reject] = True
+    accept |= hits_per_thread == 0
+    return accept
+
+
+class GpuEngineBase(SearchEngine):
+    """Shared state and the incremental-processing loop for GPU engines.
+
+    Subclasses implement :meth:`_plan_invocation`, producing the candidate
+    :class:`RangeBatch` (plus per-thread gather-work and overflow
+    information) for a given list of live query rows.
+    """
+
+    def __init__(self, database: SegmentArray, *,
+                 gpu: VirtualGPU | None = None,
+                 result_buffer_items: int = 2_000_000) -> None:
+        if len(database) == 0:
+            raise ValueError("database must not be empty")
+        self.gpu = gpu or VirtualGPU()
+        self.result_buffer = AtomicResultBuffer(result_buffer_items)
+        self.database = database  # subclass may replace with sorted order
+
+    # -- helpers for subclasses ------------------------------------------------------
+
+    def _place_database(self, sorted_db: SegmentArray, label: str) -> None:
+        """Store the (re-ordered) database in device global memory.
+
+        Offline step: the transfer is *not* charged to response time, per
+        the paper's methodology (§V-B), but it must fit in device memory.
+        """
+        mem = self.gpu.memory
+        mem.put(f"{label}.coords", np.stack(
+            [sorted_db.xs, sorted_db.ys, sorted_db.zs, sorted_db.ts,
+             sorted_db.xe, sorted_db.ye, sorted_db.ze, sorted_db.te]))
+        mem.put(f"{label}.ids", np.stack(
+            [sorted_db.traj_ids, sorted_db.seg_ids]))
+        if "result_buffer" not in mem:
+            mem.alloc("result_buffer",
+                      (self.result_buffer.capacity_items, 4))
+
+    def _upload_queries(self, queries: SegmentArray) -> None:
+        """Charge the h2d transfer of the query set (it fits on the GPU by
+        assumption, §III) at search time."""
+        nbytes = len(queries) * QUERY_ITEM_BYTES
+        self.gpu.transfers.h2d("query_set", nbytes)

@@ -1,0 +1,224 @@
+"""GPUSpatial — flat-grid search engine (paper §IV-A, Algorithm 1).
+
+Per kernel invocation, each live query gets one thread which:
+
+1. rasterizes the query MBB **expanded by d** onto the grid;
+2. binary-searches each overlapped cell in the non-empty-cell array ``G``
+   (``O(log |G|)`` per probe);
+3. copies the candidate entry ids of found cells from the lookup array
+   ``A`` into its slice ``U_k`` of the shared candidate buffer —
+   ``|U_k| = s / |live queries|``.  If the slice overflows, the thread
+   atomically appends its query id to ``redo`` and **terminates without
+   refining** (Algorithm 1 lines 10-12);
+4. refines each buffered candidate and atomically appends results.
+
+The host re-invokes the kernel with the ``redo`` list; each re-invocation
+has fewer live queries, hence larger per-query buffer slices, so overflow
+pressure decays geometrically.  Candidate ids are *not* deduplicated (an
+id occurs in ``A`` once per overlapped cell), so redundant comparisons and
+duplicate result items are possible; the host filters duplicates after the
+search (§IV-A.2).
+
+This scheme has no temporal selectivity at all: candidates are whatever
+spatially overlaps, whenever it exists — one of the two reasons it loses
+on large datasets (the other being buffer-pressure re-invocations).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.geometry import expand, segment_mbbs
+from ..core.result import ResultSet
+from ..core.types import SegmentArray
+from ..gpu.kernel import KernelLauncher
+from ..gpu.profiler import SearchProfile
+from ..indexes.fsg import FlatGrid
+from .base import (GpuEngineBase, MAX_KERNEL_INVOCATIONS, RangeBatch,
+                   first_fit_accept, refine_ranges)
+
+__all__ = ["GpuSpatialEngine"]
+
+
+class GpuSpatialEngine(GpuEngineBase):
+    """The GPUSpatial search engine."""
+
+    name = "gpu_spatial"
+
+    def __init__(self, database: SegmentArray, *,
+                 cells_per_dim: int | tuple[int, int, int] = 50,
+                 gpu=None,
+                 candidate_buffer_items: int = 8_000_000,
+                 result_buffer_items: int = 2_000_000) -> None:
+        super().__init__(database, gpu=gpu,
+                         result_buffer_items=result_buffer_items)
+        if candidate_buffer_items <= 0:
+            raise ValueError("candidate buffer must be positive")
+        #: the paper's overall buffer size ``s``, split across live queries.
+        self.candidate_buffer_items = int(candidate_buffer_items)
+        self.index = FlatGrid.build(database, cells_per_dim)
+        self.database = database
+        self._place_database(database, "fsg_db")
+        mem = self.gpu.memory
+        mem.put("fsg_G", self.index.cell_ids)
+        mem.put("fsg_ranges", np.stack([self.index.cell_start,
+                                        self.index.cell_end]))
+        mem.put("fsg_A", self.index.lookup.astype(np.int32))
+        mem.alloc("fsg_U", self.candidate_buffer_items, dtype=np.int32)
+
+    # -- candidate gathering (kernel steps 1-3) -----------------------------------
+
+    def _gather(self, q_sorted: SegmentArray, live: np.ndarray, d: float
+                ) -> tuple[RangeBatch, np.ndarray, np.ndarray, np.ndarray]:
+        """Fill per-thread candidate slices.
+
+        Returns ``(batch, overflowed, probe_ops, gather_ops)`` where
+        ``overflowed`` flags threads that exceeded ``|U_k|`` (their
+        candidate lists are left empty — the thread terminated).
+        """
+        slice_cap = self.candidate_buffer_items // max(live.size, 1)
+        boxes = expand(segment_mbbs(q_sorted).take(live), d)
+        log_g = max(1, int(np.ceil(np.log2(max(self.index
+                                               .num_nonempty_cells, 2)))))
+
+        cand_lists: list[np.ndarray] = []
+        lens = np.zeros(live.size, dtype=np.int64)
+        overflowed = np.zeros(live.size, dtype=bool)
+        probe_ops = np.zeros(live.size, dtype=np.int64)
+        gather_ops = np.zeros(live.size, dtype=np.int64)
+        empty = np.zeros(0, dtype=np.int64)
+
+        for i in range(live.size):
+            cells = self.index.cells_overlapping_box(boxes.lo[i],
+                                                     boxes.hi[i])
+            found, start, end = self.index.probe(cells)
+            probe_ops[i] = cells.size * log_g
+            counts = (end - start)[found]
+            total = int(counts.sum())
+            if total > slice_cap:
+                # Thread terminates: partial fill up to capacity was paid,
+                # then the query id goes to `redo` (one atomic).
+                overflowed[i] = True
+                gather_ops[i] = slice_cap
+                cand_lists.append(empty)
+                continue
+            gather_ops[i] = total
+            lens[i] = total
+            if total:
+                starts_f = start[found]
+                ends_f = end[found]
+                parts = [self.index.lookup[s:e]
+                         for s, e in zip(starts_f, ends_f)]
+                cand_lists.append(np.concatenate(parts))
+            else:
+                cand_lists.append(empty)
+
+        cand_start = np.zeros(live.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=cand_start[1:])
+        candidate_rows = (np.concatenate(cand_lists) if cand_lists
+                          else empty)
+        batch = RangeBatch(q_rows=live, candidate_rows=candidate_rows,
+                           cand_start=cand_start)
+        return batch, overflowed, probe_ops, gather_ops
+
+    # -- search ---------------------------------------------------------------------
+
+    def search(self, queries: SegmentArray, d: float, *,
+               exclude_same_trajectory: bool = False
+               ) -> tuple[ResultSet, SearchProfile]:
+        wall0 = time.perf_counter()
+        self.gpu.reset_counters()
+        launcher = KernelLauncher(self.gpu)
+
+        # No sorting of Q for the spatial scheme (§IV-A.2).
+        q_sorted = queries
+        self._upload_queries(q_sorted)
+
+        pending = np.arange(len(q_sorted), dtype=np.int64)
+        # Host-side progress guarantee: when an invocation completes no
+        # query (every live thread overflowed an identical-size U_k), the
+        # host passes only half the redo list to the next invocation,
+        # doubling the per-thread slice.  The paper's redo mechanism
+        # already lets the host choose which query ids to resubmit; this
+        # policy just makes its convergence unconditional.
+        limit = pending.size
+        parts: list[ResultSet] = []
+        redo_total = 0
+        raw_items = 0
+
+        for invocation in range(MAX_KERNEL_INVOCATIONS):
+            if pending.size == 0:
+                break
+            live = pending[:limit]
+            if invocation > 0:
+                self.gpu.transfers.h2d("redo_query_ids", live.size * 8)
+
+            batch, overflowed, probe_ops, gather_ops = self._gather(
+                q_sorted, live, d)
+            lens = batch.lengths()
+
+            with launcher.launch(self.name, num_threads=live.size) as k:
+                hits, pq, pe, plo, phi = refine_ranges(
+                    q_sorted, self.database, batch, d,
+                    exclude_same_trajectory=exclude_same_trajectory)
+                k.thread_work[:] = lens
+                k.gather_work[:] = probe_ops + gather_ops
+                k.add_atomics(int(hits.sum())
+                              + int(np.count_nonzero(overflowed)))
+
+                accept = first_fit_accept(hits,
+                                          self.result_buffer.free_items)
+                accept &= ~overflowed
+                pair_accept = np.repeat(accept, hits)
+                if not self.result_buffer.try_append(
+                        pq[pair_accept], pe[pair_accept],
+                        plo[pair_accept], phi[pair_accept]):
+                    raise RuntimeError("internal: accepted batch overflow")
+
+            qd, ed, lod, hid = self.result_buffer.drain()
+            self.gpu.transfers.d2h("result_set", qd.size * 32)
+            raw_items += qd.size
+            parts.append(ResultSet(q_sorted.seg_ids[qd],
+                                   self.database.seg_ids[ed], lod, hid))
+
+            rejected = ~accept
+            redo = live[rejected]
+            pending = np.concatenate([redo, pending[limit:]])
+            redo_total += int(redo.size)
+            if redo.size:
+                self.gpu.transfers.d2h("redo_list", redo.size * 8)
+                if redo.size == live.size:
+                    # No progress this invocation.
+                    if live.size == 1:
+                        if bool(overflowed[rejected][0]):
+                            raise RuntimeError(
+                                "candidate buffer too small: one query's "
+                                "candidate set exceeds the whole buffer "
+                                f"(s={self.candidate_buffer_items}); "
+                                "increase candidate_buffer_items or "
+                                "coarsen the grid")
+                        raise RuntimeError(
+                            "result buffer too small for a single query "
+                            f"({int(hits[rejected].max())} items)")
+                    limit = max(1, live.size // 2)
+                else:
+                    limit = pending.size
+                if invocation == MAX_KERNEL_INVOCATIONS - 1:
+                    raise RuntimeError("kernel re-invocation limit reached")
+            else:
+                limit = pending.size if pending.size else 1
+
+        raw = ResultSet.from_parts(parts)
+        final = raw.deduplicated()
+        profile = SearchProfile.capture(
+            self.name, self.gpu, num_queries=len(queries),
+            schedule_items=0,   # no host-side schedule for this scheme
+            redo_queries=redo_total,
+            raw_result_items=raw_items,
+            result_items=len(final),
+            index_bytes=self.index.nbytes(),
+            wall_seconds=time.perf_counter() - wall0,
+        )
+        return final, profile

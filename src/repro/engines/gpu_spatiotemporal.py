@@ -1,0 +1,174 @@
+"""GPUSpatioTemporal — bins + spatial subbins engine (paper §IV-C, Alg. 3).
+
+Identical host workflow to GPUTemporal (sort ``Q``, compute a schedule,
+ship ``Q`` + ``S``), but the schedule points into one of the ``X``/``Y``/
+``Z`` subbin id arrays when the query overlaps a single subbin index in
+some dimension — giving spatial selectivity for the price of **one extra
+indirection** (the kernel reads the entry row id from the subbin array,
+then the segment from ``D``).  Queries for which no dimension qualifies
+default to the temporal scheme within the same kernel (line 15 of
+Algorithm 3); the schedule is pre-sorted by lookup-array selector so warps
+see neighbours taking the same branch.
+
+Work accounting: indirect threads charge one *gather* unit per candidate
+(the extra id load) on top of the comparison; defaulted threads charge
+comparisons only — which is how the cost model exposes the paper's
+measured ~12 % indirection overhead (§V-C).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.result import ResultSet
+from ..core.types import SegmentArray
+from ..gpu.kernel import KernelLauncher
+from ..gpu.profiler import SearchProfile
+from ..indexes.spatiotemporal import Schedule, SpatioTemporalIndex
+from .base import (GpuEngineBase, MAX_KERNEL_INVOCATIONS, RangeBatch,
+                   first_fit_accept, refine_ranges)
+from .gpu_temporal import _expand_ranges
+
+__all__ = ["GpuSpatioTemporalEngine"]
+
+
+class GpuSpatioTemporalEngine(GpuEngineBase):
+    """The GPUSpatioTemporal search engine."""
+
+    name = "gpu_spatiotemporal"
+
+    def __init__(self, database: SegmentArray, *, num_bins: int = 1000,
+                 num_subbins: int = 4, strict_subbins: bool = True,
+                 gpu=None, result_buffer_items: int = 2_000_000) -> None:
+        super().__init__(database, gpu=gpu,
+                         result_buffer_items=result_buffer_items)
+        self.index = SpatioTemporalIndex.build(
+            database, num_bins, num_subbins, strict=strict_subbins)
+        self.database = self.index.segments
+        self._place_database(self.database, "st_db")
+        mem = self.gpu.memory
+        for name, arr, offs in zip("XYZ", self.index.dim_arrays,
+                                   self.index.dim_offsets):
+            mem.put(f"subbin_{name}", arr.astype(np.int32))
+            mem.put(f"subbin_{name}_offsets", offs)
+        mem.put("st_bins", np.stack(
+            [self.index.temporal.bin_start, self.index.temporal.bin_end]))
+
+    # -- search ----------------------------------------------------------------
+
+    def search(self, queries: SegmentArray, d: float, *,
+               exclude_same_trajectory: bool = False
+               ) -> tuple[ResultSet, SearchProfile]:
+        wall0 = time.perf_counter()
+        self.gpu.reset_counters()
+        launcher = KernelLauncher(self.gpu)
+
+        q_sorted = queries.sorted_by_start_time()
+        schedule = self.index.make_schedule(q_sorted, d)
+        self._upload_queries(q_sorted)
+        self.gpu.transfers.h2d("schedule", schedule.nbytes)
+
+        # Thread order = schedule order (sorted by array selector).
+        sel_all = schedule.array_sel
+        lo_all = schedule.ent_min
+        hi_all = schedule.ent_max
+        qrow_all = schedule.q_rows
+
+        live = np.arange(len(schedule), dtype=np.int64)  # schedule slots
+        parts: list[ResultSet] = []
+        redo_total = 0
+        raw_items = 0
+
+        for invocation in range(MAX_KERNEL_INVOCATIONS):
+            if live.size == 0:
+                break
+            if invocation > 0:
+                self.gpu.transfers.h2d("redo_query_ids", live.size * 8)
+
+            sel = sel_all[live]
+            lens = np.maximum(hi_all[live] - lo_all[live] + 1, 0)
+            cand_start = np.zeros(live.size + 1, dtype=np.int64)
+            np.cumsum(lens, out=cand_start[1:])
+            cand_rows = np.empty(int(lens.sum()), dtype=np.int64)
+            # Indirect threads: gather entry rows through X/Y/Z; defaulted
+            # threads (-1): candidate rows are the range itself.
+            for dim in range(3):
+                pick = sel == dim
+                if not np.any(pick):
+                    continue
+                idx = _expand_ranges(lo_all[live][pick], lens[pick])
+                gathered = self.index.dim_arrays[dim][idx]
+                _scatter_ranges(cand_rows, cand_start, np.flatnonzero(pick),
+                                gathered, lens)
+            pick = sel == -1
+            if np.any(pick):
+                direct = _expand_ranges(lo_all[live][pick], lens[pick])
+                _scatter_ranges(cand_rows, cand_start, np.flatnonzero(pick),
+                                direct, lens)
+
+            batch = RangeBatch(q_rows=qrow_all[live],
+                               candidate_rows=cand_rows,
+                               cand_start=cand_start)
+
+            with launcher.launch(self.name, num_threads=live.size) as k:
+                hits, pq, pe, plo, phi = refine_ranges(
+                    q_sorted, self.database, batch, d,
+                    exclude_same_trajectory=exclude_same_trajectory)
+                k.thread_work[:] = lens
+                # The extra indirection of subbin threads.
+                k.gather_work[:] = np.where(sel >= 0, lens, 0)
+                k.add_atomics(int(hits.sum()))
+
+                accept = first_fit_accept(hits,
+                                          self.result_buffer.free_items)
+                pair_accept = np.repeat(accept, hits)
+                if not self.result_buffer.try_append(
+                        pq[pair_accept], pe[pair_accept],
+                        plo[pair_accept], phi[pair_accept]):
+                    raise RuntimeError("internal: accepted batch overflow")
+
+            qd, ed, lod, hid = self.result_buffer.drain()
+            self.gpu.transfers.d2h("result_set", qd.size * 32)
+            raw_items += qd.size
+            parts.append(ResultSet(q_sorted.seg_ids[qd],
+                                   self.database.seg_ids[ed], lod, hid))
+
+            rejected = ~accept
+            live = live[rejected]
+            redo_total += int(live.size)
+            if live.size:
+                self.gpu.transfers.d2h("redo_list", live.size * 8)
+                worst = int(hits[rejected].max())
+                if worst > self.result_buffer.capacity_items:
+                    raise RuntimeError(
+                        "result buffer too small for a single query "
+                        f"({worst} items)")
+                if invocation == MAX_KERNEL_INVOCATIONS - 1:
+                    raise RuntimeError("kernel re-invocation limit reached")
+
+        raw = ResultSet.from_parts(parts)
+        final = raw.deduplicated()
+        profile = SearchProfile.capture(
+            self.name, self.gpu, num_queries=len(queries),
+            schedule_items=len(queries),
+            redo_queries=redo_total,
+            defaulted_queries=schedule.num_defaulted,
+            raw_result_items=raw_items,
+            result_items=len(final),
+            index_bytes=self.index.nbytes(),
+            wall_seconds=time.perf_counter() - wall0,
+        )
+        return final, profile
+
+
+def _scatter_ranges(out: np.ndarray, cand_start: np.ndarray,
+                    thread_ids: np.ndarray, values: np.ndarray,
+                    lens: np.ndarray) -> None:
+    """Write each selected thread's candidate list into its slot of the
+    flat candidate array."""
+    if values.size == 0:
+        return
+    dest = _expand_ranges(cand_start[thread_ids], lens[thread_ids])
+    out[dest] = values

@@ -1,0 +1,111 @@
+"""Terminal line charts for the regenerated figures.
+
+The paper's figures are log-scale response-time-vs-d line charts; the
+series tables in ``results/`` carry the numbers, and this module renders
+the same data as a text plot so the *shape* (flat GPUTemporal, exploding
+GPUSpatial, the CPU/GPU crossover) is visible at a glance in a terminal
+or a markdown code block — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["line_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def _log_or_linear(values: list[float], log: bool) -> list[float]:
+    if not log:
+        return values
+    return [math.log10(v) if v > 0 else float("-inf") for v in values]
+
+
+def line_chart(
+    d_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    height: int = 16,
+    width: int = 64,
+    log_y: bool = True,
+) -> str:
+    """Render series as an ASCII chart (one mark character per series).
+
+    The x axis is the *index* of each d value (the paper's sweeps are
+    near-log-spaced, so index spacing reads naturally); the y axis is
+    log10 seconds by default, matching the figures.
+    """
+    if not series or not d_values:
+        raise ValueError("need at least one series and one x value")
+    if height < 4 or width < len(d_values):
+        raise ValueError("chart too small for the data")
+
+    names = sorted(series)
+    flat = [v for name in names for v in series[name]
+            if v == v and v > 0]
+    if not flat:
+        raise ValueError("no positive finite values to plot")
+    ys = _log_or_linear(flat, log_y)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    xcol = [round(i * (width - 1) / max(len(d_values) - 1, 1))
+            for i in range(len(d_values))]
+
+    def yrow(value: float) -> int | None:
+        v = _log_or_linear([value], log_y)[0]
+        if v == float("-inf"):
+            return None
+        frac = (v - y_lo) / (y_hi - y_lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for si, name in enumerate(names):
+        mark = _MARKS[si % len(_MARKS)]
+        prev: tuple[int, int] | None = None
+        for i, v in enumerate(series[name]):
+            if v != v or v <= 0:
+                prev = None
+                continue
+            r = yrow(v)
+            if r is None:
+                continue
+            c = xcol[i]
+            grid[r][c] = mark
+            if prev is not None:
+                # Sparse interpolation so the eye can follow the line.
+                pr, pc = prev
+                steps = max(abs(c - pc), abs(r - pr))
+                for s in range(1, steps):
+                    ir = pr + round(s * (r - pr) / steps)
+                    ic = pc + round(s * (c - pc) / steps)
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            prev = (r, c)
+
+    unit = "log10(s)" if log_y else "s"
+    lines = []
+    if title:
+        lines += [title, "=" * len(title)]
+    top = f"{y_hi:8.2f} ┤" if not log_y else f"{10 ** y_hi:8.2g} ┤"
+    bot = f"{y_lo:8.2f} ┤" if not log_y else f"{10 ** y_lo:8.2g} ┤"
+    pad = " " * 9 + "│"
+    for r, row in enumerate(grid):
+        prefix = top if r == 0 else bot if r == height - 1 else pad
+        lines.append(prefix + "".join(row))
+    axis = " " * 10 + "└" + "─" * width
+    lines.append(axis)
+    ticks = [f"{d_values[0]:g}", f"{d_values[len(d_values) // 2]:g}",
+             f"{d_values[-1]:g}"]
+    tick_line = (" " * 11 + ticks[0]
+                 + ticks[1].rjust(width // 2 - len(ticks[0]))
+                 + ticks[2].rjust(width - width // 2 - len(ticks[1])))
+    lines.append(tick_line + "   [d]")
+    legend = "   ".join(f"{_MARKS[i % len(_MARKS)]} {name}"
+                        for i, name in enumerate(names))
+    lines.append(f"          {legend}   [y: {unit}]")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""SIMT kernel-execution model.
+
+All three search kernels follow the paper's load-balancing rule: *one
+query segment per GPU thread* (§IV).  A kernel launch therefore creates
+``|Q|`` logical threads; the hardware executes them in warps of 32 in
+thread-id order, and a warp retires only when its slowest lane finishes —
+SIMT lockstep.  Thread *divergence* (lanes of one warp doing different
+amounts of work) is consequently the GPU's main inefficiency, and it is
+exactly what GPUSpatioTemporal's schedule sort is designed to reduce.
+
+The model executes each thread's real work (vectorized NumPy inside the
+engines) and records, per thread, how many *work units* it performed —
+candidate-gathering steps, index probes and segment comparisons.  The cost
+model then reconstructs warp timing: a warp's duration is the maximum of
+its lanes' work, and the device retires ``concurrent_warps`` warps at a
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .device import VirtualGPU
+
+__all__ = ["KernelStats", "KernelLauncher", "warp_work"]
+
+
+@dataclass
+class KernelStats:
+    """Execution record of one kernel invocation.
+
+    ``thread_work`` holds, per logical thread in thread-id order, the
+    number of work units (dominated by segment comparisons) the thread
+    executed.  ``atomic_ops`` counts global atomic operations issued by
+    the whole grid.  ``gather_ops`` counts index-probe/buffer-fill steps
+    (GPUSpatial's cell lookups and ``U_k`` writes), which are charged at a
+    different rate than full segment comparisons.
+    """
+
+    name: str
+    num_threads: int
+    thread_work: np.ndarray
+    gather_work: np.ndarray
+    atomic_ops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.thread_work.shape != (self.num_threads,):
+            raise ValueError("thread_work must have one slot per thread")
+        if self.gather_work.shape != (self.num_threads,):
+            raise ValueError("gather_work must have one slot per thread")
+
+    @property
+    def total_comparisons(self) -> int:
+        return int(self.thread_work.sum())
+
+    @property
+    def total_gathers(self) -> int:
+        return int(self.gather_work.sum())
+
+    def divergence_factor(self, warp_size: int) -> float:
+        """How much SIMT lockstep inflates compute: (warp-max work summed)
+        / (mean work summed).  1.0 = perfectly converged warps."""
+        eff = warp_work(self.thread_work, warp_size)
+        total = self.thread_work.sum()
+        if total == 0:
+            return 1.0
+        return float(eff * warp_size / total)
+
+
+def warp_work(thread_work: np.ndarray, warp_size: int) -> int:
+    """Sum over warps of the per-warp maximum lane work.
+
+    This is the number of lockstep issue slots the grid needs: each warp
+    occupies its 32 lanes for as long as its busiest lane.
+    """
+    n = thread_work.shape[0]
+    if n == 0:
+        return 0
+    pad = (-n) % warp_size
+    padded = np.pad(thread_work, (0, pad))
+    return int(padded.reshape(-1, warp_size).max(axis=1).sum())
+
+
+class KernelLauncher:
+    """Creates kernel invocations against a :class:`VirtualGPU`.
+
+    Usage (inside an engine)::
+
+        launcher = KernelLauncher(gpu)
+        with launcher.launch("gpu_temporal", num_threads=len(Q)) as k:
+            ...execute per-thread work, then...
+            k.thread_work[:] = comparisons_per_thread
+            k.add_atomics(results_appended)
+
+    On context exit the stats are validated and appended to
+    ``gpu.kernel_stats``; the cost model later charges one
+    ``kernel_launch_s`` per entry plus the modeled execution time.
+    """
+
+    def __init__(self, gpu: VirtualGPU) -> None:
+        self.gpu = gpu
+
+    def launch(self, name: str, num_threads: int) -> "_LaunchContext":
+        if num_threads < 0:
+            raise ValueError("num_threads must be non-negative")
+        return _LaunchContext(self.gpu, name, num_threads)
+
+
+class _LaunchContext:
+    def __init__(self, gpu: VirtualGPU, name: str, num_threads: int) -> None:
+        self.gpu = gpu
+        self.name = name
+        self.num_threads = num_threads
+        self.thread_work = np.zeros(num_threads, dtype=np.int64)
+        self.gather_work = np.zeros(num_threads, dtype=np.int64)
+        self._atomics = 0
+
+    def add_atomics(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("atomic count must be non-negative")
+        self._atomics += int(n)
+
+    def __enter__(self) -> "_LaunchContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return  # don't record failed launches
+        self.gpu.kernel_stats.append(KernelStats(
+            name=self.name,
+            num_threads=self.num_threads,
+            thread_work=self.thread_work,
+            gather_work=self.gather_work,
+            atomic_ops=self._atomics,
+        ))

@@ -1,0 +1,120 @@
+"""Device global-memory management for the virtual GPU.
+
+The paper stresses (§III) that GPU memory management is the hard part of
+this problem: "there is no true dynamic memory allocation on the GPU, one
+must statically allocate buffers and handle buffer overflow".  We model
+that discipline:
+
+* Allocations are explicit, named, and bounded by the device capacity —
+  exceeding it raises :class:`DeviceOutOfMemoryError`, exactly the
+  constraint that forces the paper to process query sets incrementally.
+* A :class:`DeviceArray` wraps the backing NumPy array; host code must
+  explicitly copy through the transfer ledger, which keeps the PCIe
+  accounting honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeviceArray", "MemoryManager", "DeviceOutOfMemoryError"]
+
+
+class DeviceOutOfMemoryError(MemoryError):
+    """Raised when an allocation would exceed device global memory."""
+
+    def __init__(self, requested: int, free: int, device: str) -> None:
+        super().__init__(
+            f"{device}: cannot allocate {requested} bytes "
+            f"({free} bytes free)")
+        self.requested = requested
+        self.free = free
+
+
+@dataclass
+class DeviceArray:
+    """A named allocation in device global memory.
+
+    ``data`` is the backing store.  Treat it as *device-resident*: host
+    logic must go through :class:`repro.gpu.transfers.TransferLedger`
+    (engines do) so that modeled PCIe traffic matches what a real
+    implementation would ship across the bus.
+    """
+
+    name: str
+    data: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+
+class MemoryManager:
+    """Tracks named allocations against a fixed global-memory capacity."""
+
+    def __init__(self, capacity_bytes: int, device_name: str = "gpu") -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self.device_name = device_name
+        self._allocations: dict[str, DeviceArray] = {}
+        self.peak_bytes = 0
+
+    # -- allocation ------------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(a.nbytes for a in self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.allocated_bytes
+
+    def alloc(self, name: str, shape: tuple[int, ...] | int,
+              dtype: np.dtype | type = np.float64) -> DeviceArray:
+        """Allocate a zero-initialized device array."""
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        probe = np.zeros(shape, dtype=dtype)
+        return self._register(name, probe)
+
+    def put(self, name: str, host_array: np.ndarray) -> DeviceArray:
+        """Allocate and fill from a host array (contents are copied).
+
+        Note: this only *places* the data; the PCIe cost of moving it is
+        recorded by the caller via the transfer ledger, because some
+        placements (the database, the index) happen offline and are
+        excluded from response time (§V-B).
+        """
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        return self._register(name, np.array(host_array, copy=True))
+
+    def _register(self, name: str, data: np.ndarray) -> DeviceArray:
+        if data.nbytes > self.free_bytes:
+            raise DeviceOutOfMemoryError(data.nbytes, self.free_bytes,
+                                         self.device_name)
+        arr = DeviceArray(name=name, data=data)
+        self._allocations[name] = arr
+        self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)
+        return arr
+
+    def free(self, name: str) -> None:
+        if name not in self._allocations:
+            raise KeyError(f"no allocation named {name!r}")
+        del self._allocations[name]
+
+    def get(self, name: str) -> DeviceArray:
+        return self._allocations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._allocations
+
+    def allocations(self) -> dict[str, int]:
+        """Snapshot of {name: nbytes} for reporting."""
+        return {k: v.nbytes for k, v in self._allocations.items()}

@@ -1,0 +1,134 @@
+"""Launch configuration and SM occupancy for the virtual GPU.
+
+The paper sizes its kernels with "one query segment per thread" and
+relies on ``|Q|`` being "moderately large [so] all GPU cores can be
+utilized" (§IV).  This module makes that reasoning precise for the
+modeled device: given a kernel's per-thread resource appetite (registers,
+shared memory) and a block size, it computes how many blocks fit on an SM
+(Fermi-generation limits), the resulting *occupancy* (resident warps vs
+the SM's capacity), and the whole-grid utilization including the tail
+effect when ``|Q|`` is small.
+
+The search kernels are memory-bound, so occupancy mostly matters for
+latency hiding; the cost model's throughput constants assume full
+occupancy, and :func:`utilization` quantifies how far a given workload
+falls short — the quantity behind Fig. 4's "the overhead of using the GPU
+is simply too great" verdict on small workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec, TESLA_C2075
+
+__all__ = ["FermiLimits", "LaunchConfig", "occupancy", "utilization",
+           "best_block_size"]
+
+
+@dataclass(frozen=True)
+class FermiLimits:
+    """Per-SM hardware limits (Fermi GF100/GF110 generation)."""
+
+    max_threads_per_sm: int = 1536
+    max_blocks_per_sm: int = 8
+    max_warps_per_sm: int = 48
+    registers_per_sm: int = 32768
+    shared_mem_per_sm: int = 48 * 1024
+    max_threads_per_block: int = 1024
+
+
+FERMI = FermiLimits()
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """One kernel launch configuration and its occupancy analysis."""
+
+    block_size: int
+    num_blocks: int
+    resident_blocks_per_sm: int
+    occupancy: float          # resident warps / max warps per SM
+    limiting_factor: str      # "threads" | "blocks" | "registers" | "smem"
+
+    @property
+    def total_threads(self) -> int:
+        return self.block_size * self.num_blocks
+
+
+def occupancy(num_threads: int, block_size: int, *,
+              registers_per_thread: int = 32,
+              shared_mem_per_block: int = 0,
+              spec: DeviceSpec = TESLA_C2075,
+              limits: FermiLimits = FERMI) -> LaunchConfig:
+    """Analyze a launch of ``num_threads`` at the given block size."""
+    if not 1 <= block_size <= limits.max_threads_per_block:
+        raise ValueError(f"block size must be in "
+                         f"[1, {limits.max_threads_per_block}]")
+    if block_size % spec.warp_size:
+        raise ValueError("block size must be a warp multiple")
+    if num_threads < 0:
+        raise ValueError("num_threads must be non-negative")
+
+    candidates = {
+        "threads": limits.max_threads_per_sm // block_size,
+        "blocks": limits.max_blocks_per_sm,
+        "registers": (limits.registers_per_sm
+                      // max(registers_per_thread * block_size, 1)),
+    }
+    if shared_mem_per_block > 0:
+        candidates["smem"] = (limits.shared_mem_per_sm
+                              // shared_mem_per_block)
+    limiting = min(candidates, key=candidates.__getitem__)
+    resident = max(0, candidates[limiting])
+    warps_per_block = block_size // spec.warp_size
+    occ = (resident * warps_per_block) / limits.max_warps_per_sm
+    num_blocks = -(-num_threads // block_size) if num_threads else 0
+    return LaunchConfig(block_size=block_size, num_blocks=num_blocks,
+                        resident_blocks_per_sm=resident,
+                        occupancy=min(occ, 1.0),
+                        limiting_factor=limiting)
+
+
+def utilization(num_threads: int, *, block_size: int = 256,
+                spec: DeviceSpec = TESLA_C2075,
+                limits: FermiLimits = FERMI,
+                registers_per_thread: int = 32) -> float:
+    """Fraction of the device a grid can keep busy (tail effect).
+
+    A grid smaller than one full wave of resident blocks leaves SMs (or
+    lanes) idle; this is why the paper needs "moderately large" |Q|.
+    """
+    cfg = occupancy(num_threads, block_size,
+                    registers_per_thread=registers_per_thread,
+                    spec=spec, limits=limits)
+    if num_threads == 0:
+        return 0.0
+    wave_blocks = cfg.resident_blocks_per_sm * spec.num_sms
+    if cfg.num_blocks >= wave_blocks:
+        return 1.0
+    # Partial wave: idle SMs plus a ragged final block.
+    busy_threads = min(num_threads, cfg.num_blocks * block_size)
+    return min(busy_threads / (spec.num_cores
+                               * max(1.0, cfg.occupancy * 4)), 1.0)
+
+
+def best_block_size(num_threads: int, *,
+                    candidates: tuple[int, ...] = (64, 128, 192, 256,
+                                                   384, 512),
+                    registers_per_thread: int = 32,
+                    shared_mem_per_block: int = 0,
+                    spec: DeviceSpec = TESLA_C2075,
+                    limits: FermiLimits = FERMI) -> LaunchConfig:
+    """Pick the candidate block size with the highest occupancy
+    (ties: smaller blocks, which reduce tail waste)."""
+    best: LaunchConfig | None = None
+    for bs in sorted(candidates):
+        cfg = occupancy(num_threads, bs,
+                        registers_per_thread=registers_per_thread,
+                        shared_mem_per_block=shared_mem_per_block,
+                        spec=spec, limits=limits)
+        if best is None or cfg.occupancy > best.occupancy + 1e-12:
+            best = cfg
+    assert best is not None
+    return best

@@ -1,0 +1,130 @@
+"""Search profiles: the measured-counts record of one engine run.
+
+Every engine returns, next to its :class:`~repro.core.result.ResultSet`, a
+:class:`SearchProfile` holding exactly what happened: kernel invocations
+with per-thread work, PCIe traffic, atomic counts, buffer events, and
+host-side schedule size.  The profile is the single source the cost model
+reads, and it is also what the experiment harness prints so that every
+reproduced figure is traceable to raw counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .costmodel import CostBreakdown, CpuCostModel, GpuCostModel
+from .device import VirtualGPU
+from .kernel import KernelStats
+
+__all__ = ["SearchProfile", "CpuSearchProfile"]
+
+
+@dataclass
+class SearchProfile:
+    """Execution record of one GPU-engine search."""
+
+    engine: str
+    num_queries: int
+    kernel_stats: list[KernelStats] = field(default_factory=list)
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    num_transfers: int = 0
+    schedule_items: int = 0
+    #: queries that had to be re-processed (buffer overflow / result-buffer
+    #: pressure), summed over all re-invocations.
+    redo_queries: int = 0
+    #: GPUSpatioTemporal only: queries that fell back to the temporal scheme.
+    defaulted_queries: int = 0
+    #: result items before host-side deduplication.
+    raw_result_items: int = 0
+    #: result items after deduplication.
+    result_items: int = 0
+    #: device bytes held by the index (offline, for reporting).
+    index_bytes: int = 0
+    #: wall-clock seconds spent simulating (not modeled time).
+    wall_seconds: float = 0.0
+
+    @classmethod
+    def capture(cls, engine: str, gpu: VirtualGPU, num_queries: int,
+                **kw) -> "SearchProfile":
+        return cls(
+            engine=engine,
+            num_queries=num_queries,
+            kernel_stats=list(gpu.kernel_stats),
+            h2d_bytes=gpu.transfers.h2d_bytes,
+            d2h_bytes=gpu.transfers.d2h_bytes,
+            num_transfers=gpu.transfers.num_transfers,
+            **kw,
+        )
+
+    # -- aggregates -------------------------------------------------------------
+
+    @property
+    def num_kernel_invocations(self) -> int:
+        return len(self.kernel_stats)
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(s.total_comparisons for s in self.kernel_stats)
+
+    @property
+    def total_gathers(self) -> int:
+        return sum(s.total_gathers for s in self.kernel_stats)
+
+    @property
+    def total_atomics(self) -> int:
+        return sum(s.atomic_ops for s in self.kernel_stats)
+
+    def divergence_factor(self, warp_size: int = 32) -> float:
+        """Grid-wide SIMT divergence (1.0 = converged)."""
+        num = 0.0
+        den = 0.0
+        for s in self.kernel_stats:
+            from .kernel import warp_work
+            num += warp_work(s.thread_work, warp_size) * warp_size
+            den += s.thread_work.sum()
+        return float(num / den) if den else 1.0
+
+    # -- modeled time -------------------------------------------------------------
+
+    def modeled_time(self, model: GpuCostModel,
+                     *, discount_reinvocations: bool = False
+                     ) -> CostBreakdown:
+        """Convert this profile's counts to modeled seconds."""
+        total = CostBreakdown()
+        for i, stats in enumerate(self.kernel_stats):
+            include_launch = not (discount_reinvocations and i > 0)
+            total = total + model.kernel_time(
+                stats, include_launch=include_launch)
+        xfer_payload = ((self.h2d_bytes + self.d2h_bytes)
+                        / model.spec.pcie_bandwidth)
+        n_lat = 2 if (discount_reinvocations
+                      and self.num_kernel_invocations > 1) \
+            else self.num_transfers
+        total = total + CostBreakdown(
+            transfers=xfer_payload + n_lat * model.spec.pcie_latency_s)
+        total = total + model.host_time(self.schedule_items)
+        return total
+
+
+@dataclass
+class CpuSearchProfile:
+    """Execution record of one CPU-RTree search."""
+
+    engine: str
+    num_queries: int
+    node_visits: int = 0
+    comparisons: int = 0
+    result_items: int = 0
+    index_bytes: int = 0
+    wall_seconds: float = 0.0
+
+    def modeled_time(self, model: CpuCostModel) -> CostBreakdown:
+        return model.search_time(
+            node_visits=self.node_visits,
+            comparisons=self.comparisons,
+            num_queries=self.num_queries,
+            result_items=self.result_items,
+        )

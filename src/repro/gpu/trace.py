@@ -1,0 +1,86 @@
+"""Execution-trace export: profiles -> Chrome trace-event JSON.
+
+Converts a :class:`~repro.gpu.profiler.SearchProfile` into the Trace
+Event Format consumed by ``chrome://tracing`` / Perfetto, laying out the
+modeled timeline: kernel invocations on a GPU track, host<->device
+transfers on a PCIe track, host scheduling on a CPU track.  Durations are
+the cost model's — the tool visualizes where modeled time goes, which is
+how the response-time breakdowns in EXPERIMENTS.md were sanity-checked.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .costmodel import GpuCostModel
+from .profiler import SearchProfile
+
+__all__ = ["profile_to_trace", "write_trace"]
+
+_US = 1e6  # trace event timestamps are microseconds
+
+_TRACKS = {"gpu": 1, "pcie": 2, "host": 3}
+
+
+def profile_to_trace(profile: SearchProfile,
+                     model: GpuCostModel | None = None) -> list[dict]:
+    """Build the trace event list for one search profile.
+
+    Events are complete-events (``ph: "X"``) with modeled durations; the
+    timeline serializes phases in execution order: host schedule, query
+    upload, then per-invocation kernel + result download (+ redo
+    round-trips, approximated as evenly split transfer time).
+    """
+    model = model or GpuCostModel()
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": tid,
+         "args": {"name": f"{track} (modeled)"}}
+        for track, tid in _TRACKS.items()
+    ]
+    t = 0.0
+
+    def emit(name: str, track: str, dur_s: float, **args) -> None:
+        nonlocal t
+        events.append({
+            "name": name, "ph": "X", "pid": 0, "tid": _TRACKS[track],
+            "ts": round(t * _US, 3), "dur": round(dur_s * _US, 3),
+            "args": args,
+        })
+        t += dur_s
+
+    host = model.host_time(profile.schedule_items).host
+    if host > 0:
+        emit("compute schedule", "host", host,
+             items=profile.schedule_items)
+
+    n_inv = max(profile.num_kernel_invocations, 1)
+    xfer_total = ((profile.h2d_bytes + profile.d2h_bytes)
+                  / model.spec.pcie_bandwidth
+                  + profile.num_transfers * model.spec.pcie_latency_s)
+    xfer_share = xfer_total / (n_inv + 1)
+
+    emit("upload Q + schedule", "pcie", xfer_share,
+         h2d_bytes=profile.h2d_bytes)
+    for i, stats in enumerate(profile.kernel_stats):
+        cost = model.kernel_time(stats)
+        emit(f"kernel #{i} launch", "host", cost.launches)
+        emit(f"{stats.name} #{i}", "gpu", cost.compute + cost.atomics,
+             threads=stats.num_threads,
+             comparisons=stats.total_comparisons,
+             atomics=stats.atomic_ops,
+             divergence=round(stats.divergence_factor(
+                 model.spec.warp_size), 3))
+        emit(f"drain results #{i}", "pcie", xfer_share)
+    return events
+
+
+def write_trace(profile: SearchProfile, path: str | Path,
+                model: GpuCostModel | None = None) -> Path:
+    """Write a ``chrome://tracing``-loadable JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"traceEvents": profile_to_trace(profile, model),
+               "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload))
+    return path

@@ -1,0 +1,20 @@
+"""Trajectory indexes: the paper's three GPU schemes plus the CPU R-tree.
+
+* :class:`FlatGrid` — flatly-structured spatial grid (GPUSpatial, §IV-A)
+* :class:`TemporalIndex` — temporal bins (GPUTemporal, §IV-B)
+* :class:`SpatioTemporalIndex` — bins + spatial subbins (§IV-C)
+* :class:`RTree` — 4-D packed R-tree, STR bulk-loaded (CPU baseline, §V-B)
+"""
+
+from .fsg import FlatGrid
+from .rtree import RTree, RTreeNode
+from .rtree_insert import GuttmanBuilder
+from .spatiotemporal import Schedule, SpatioTemporalIndex
+from .stats import (FsgStats, RTreeStats, SpatioTemporalStats,
+                    TemporalStats, describe)
+from .temporal import TemporalIndex
+
+__all__ = ["FlatGrid", "FsgStats", "GuttmanBuilder", "RTree",
+           "RTreeNode", "RTreeStats", "Schedule", "SpatioTemporalIndex",
+           "SpatioTemporalStats", "TemporalIndex", "TemporalStats",
+           "describe"]

@@ -1,0 +1,200 @@
+"""Flatly-Structured Grid (FSG) — the GPUSpatial index (paper §IV-A).
+
+A 3-D rectangular box covering the database's spatial bounds is split into
+``nx x ny x nz`` cells.  Each entry segment's spatial MBB is *rasterized*:
+the segment's row id is recorded in every cell its MBB overlaps.  The
+physical layout is exactly the paper's:
+
+* only **non-empty** cells are stored, as the array ``G`` of linear cell
+  coordinates (row-major ``h = (ix * ny + iy) * nz + iz``), kept sorted so
+  a cell can be located with one binary search in ``O(log |G|)``;
+* cell ``C_h`` is described by an index range ``[A_min_h, A_max_h]`` into
+  a flat integer *lookup array* ``A`` holding entry row ids.  An id occurs
+  in ``A`` once per overlapped cell, so duplicates downstream are expected
+  and filtered on the host.
+
+Cell spatial coordinates are never stored — they are recomputed from ``h``
+on demand — which is the paper's memory-footprint optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import segment_mbbs
+from ..core.types import SegmentArray
+
+__all__ = ["FlatGrid"]
+
+
+@dataclass(frozen=True)
+class FlatGrid:
+    """The built FSG over a segment database.
+
+    Attributes
+    ----------
+    dims:
+        ``(nx, ny, nz)`` cell counts.
+    origin, cell_size:
+        Grid geometry; cell ``(ix, iy, iz)`` spans
+        ``origin + i*cell_size`` to ``origin + (i+1)*cell_size``.
+    cell_ids:
+        Sorted linear coordinates of the non-empty cells (the array ``G``).
+    cell_start, cell_end:
+        Per non-empty cell, the half-open range ``[start, end)`` into
+        ``lookup`` (the paper's inclusive ``[A_min, A_max]`` stored
+        half-open for NumPy ergonomics).
+    lookup:
+        The lookup array ``A``: entry row indices, grouped by cell.
+    """
+
+    dims: tuple[int, int, int]
+    origin: np.ndarray
+    cell_size: np.ndarray
+    cell_ids: np.ndarray
+    cell_start: np.ndarray
+    cell_end: np.ndarray
+    lookup: np.ndarray
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(cls, segments: SegmentArray,
+              cells_per_dim: int | tuple[int, int, int]) -> "FlatGrid":
+        """Rasterize every entry MBB onto the grid.
+
+        ``cells_per_dim`` is the resolution knob the paper sweeps in §V-C
+        (50 cells per dimension is its best setting for Random).
+        """
+        if isinstance(cells_per_dim, int):
+            dims = (cells_per_dim,) * 3
+        else:
+            dims = tuple(int(c) for c in cells_per_dim)
+        if len(dims) != 3 or any(c <= 0 for c in dims):
+            raise ValueError("cells_per_dim must be positive (3 values)")
+        if len(segments) == 0:
+            raise ValueError("cannot index an empty database")
+
+        mins, maxs = segments.spatial_bounds()
+        extent = np.maximum(maxs - mins, 1e-300)
+        cell_size = extent / np.asarray(dims, dtype=np.float64)
+
+        boxes = segment_mbbs(segments)
+        lo_cells, hi_cells = cls._cell_span(boxes.lo, boxes.hi,
+                                            mins, cell_size, dims)
+        spans = hi_cells - lo_cells + 1  # (n, 3)
+        counts = np.prod(spans, axis=1)
+        total = int(counts.sum())
+
+        # Vectorized rasterization: emit one (cell_id, row) pair per
+        # overlapped cell.  Enumerate the k-th overlapped cell of each
+        # segment by decomposing k into (dx, dy, dz) offsets.
+        rows = np.repeat(np.arange(len(segments), dtype=np.int64), counts)
+        offsets = np.arange(total, dtype=np.int64) \
+            - np.repeat(np.cumsum(counts) - counts, counts)
+        sy = np.repeat(spans[:, 1], counts)
+        sz = np.repeat(spans[:, 2], counts)
+        dz = offsets % sz
+        dy = (offsets // sz) % sy
+        dx = offsets // (sz * sy)
+        ix = np.repeat(lo_cells[:, 0], counts) + dx
+        iy = np.repeat(lo_cells[:, 1], counts) + dy
+        iz = np.repeat(lo_cells[:, 2], counts) + dz
+        h = (ix * dims[1] + iy) * dims[2] + iz
+
+        order = np.lexsort((rows, h))
+        h_sorted = h[order]
+        rows_sorted = rows[order]
+        cell_ids, first = np.unique(h_sorted, return_index=True)
+        cell_start = first.astype(np.int64)
+        cell_end = np.empty_like(cell_start)
+        cell_end[:-1] = cell_start[1:]
+        if len(cell_end):
+            cell_end[-1] = total
+        return cls(dims=dims, origin=mins, cell_size=cell_size,
+                   cell_ids=cell_ids, cell_start=cell_start,
+                   cell_end=cell_end, lookup=rows_sorted)
+
+    @staticmethod
+    def _cell_span(lo: np.ndarray, hi: np.ndarray, origin: np.ndarray,
+                   cell_size: np.ndarray, dims: tuple[int, int, int]
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Integer cell ranges overlapped by boxes (clipped to the grid).
+
+        Clipping happens in floating point *before* the integer cast:
+        degenerate dimensions (zero spatial extent => near-zero cell
+        size) produce +/-inf coordinates whose int64 cast would be
+        undefined.
+        """
+        dims_arr = np.asarray(dims, dtype=np.float64)
+        lo_f = np.clip(np.floor((lo - origin) / cell_size), 0.0,
+                       dims_arr - 1)
+        hi_f = np.clip(np.floor((hi - origin) / cell_size), 0.0,
+                       dims_arr - 1)
+        return lo_f.astype(np.int64), hi_f.astype(np.int64)
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def num_nonempty_cells(self) -> int:
+        return int(self.cell_ids.shape[0])
+
+    def nbytes(self) -> int:
+        """Device footprint of G (+ranges) and A."""
+        return int(self.cell_ids.nbytes + self.cell_start.nbytes
+                   + self.cell_end.nbytes + self.lookup.nbytes)
+
+    def linearize(self, ix: np.ndarray, iy: np.ndarray,
+                  iz: np.ndarray) -> np.ndarray:
+        """Row-major linear coordinate ``h`` of cells ``(ix, iy, iz)``."""
+        return (ix * self.dims[1] + iy) * self.dims[2] + iz
+
+    def delinearize(self, h: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                                  np.ndarray]:
+        """Recompute cell coordinates from ``h`` (cells store no coords)."""
+        iz = h % self.dims[2]
+        iy = (h // self.dims[2]) % self.dims[1]
+        ix = h // (self.dims[2] * self.dims[1])
+        return ix, iy, iz
+
+    def cells_overlapping_box(self, lo: np.ndarray,
+                              hi: np.ndarray) -> np.ndarray:
+        """Linear ids of all grid cells a (single) box overlaps.
+
+        Kernel-side step 1 of Algorithm 1: rasterize the query MBB
+        (already expanded by ``d`` by the caller).  Returns cells whether
+        or not they are non-empty; probing decides.
+        """
+        lo_c, hi_c = self._cell_span(lo[None, :], hi[None, :], self.origin,
+                                     self.cell_size, self.dims)
+        xr = np.arange(lo_c[0, 0], hi_c[0, 0] + 1, dtype=np.int64)
+        yr = np.arange(lo_c[0, 1], hi_c[0, 1] + 1, dtype=np.int64)
+        zr = np.arange(lo_c[0, 2], hi_c[0, 2] + 1, dtype=np.int64)
+        ix, iy, iz = np.meshgrid(xr, yr, zr, indexing="ij")
+        return self.linearize(ix.ravel(), iy.ravel(), iz.ravel())
+
+    def probe(self, h: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                            np.ndarray]:
+        """Binary-search cells ``h`` in ``G``.
+
+        Returns ``(found_mask, start, end)`` where ``[start, end)`` indexes
+        ``lookup`` for found cells (zeros otherwise).  One probe costs
+        ``O(log |G|)``; the engine charges it as gather work.
+        """
+        pos = np.searchsorted(self.cell_ids, h)
+        pos_c = np.minimum(pos, self.num_nonempty_cells - 1)
+        found = (self.num_nonempty_cells > 0) & (self.cell_ids[pos_c] == h)
+        start = np.where(found, self.cell_start[pos_c], 0)
+        end = np.where(found, self.cell_end[pos_c], 0)
+        return found, start, end
+
+    # -- invariants (used by property tests) -----------------------------------------
+
+    def cell_box(self, h: int) -> tuple[np.ndarray, np.ndarray]:
+        """Spatial bounds of cell ``h`` (recomputed, never stored)."""
+        ix, iy, iz = self.delinearize(np.asarray([h], dtype=np.int64))
+        idx = np.array([ix[0], iy[0], iz[0]], dtype=np.float64)
+        lo = self.origin + idx * self.cell_size
+        return lo, lo + self.cell_size

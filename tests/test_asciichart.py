@@ -1,0 +1,69 @@
+"""Tests for the terminal line-chart renderer."""
+
+import pytest
+
+from repro.experiments.asciichart import line_chart
+
+
+@pytest.fixture()
+def sample():
+    d = [1.0, 2.0, 4.0, 8.0]
+    series = {"flat": [0.01, 0.01, 0.01, 0.011],
+              "rising": [0.001, 0.01, 0.1, 1.0]}
+    return d, series
+
+
+class TestLineChart:
+    def test_renders_marks_and_legend(self, sample):
+        d, series = sample
+        out = line_chart(d, series, title="t")
+        assert "t" in out.splitlines()[0]
+        assert "o flat" in out and "x rising" in out
+        assert "log10(s)" in out
+        # Every series mark appears somewhere in the plot body.
+        body = "\n".join(out.splitlines()[2:-3])
+        assert "o" in body and "x" in body
+
+    def test_x_tick_labels(self, sample):
+        d, series = sample
+        out = line_chart(d, series)
+        assert "1" in out and "8" in out
+
+    def test_monotone_series_has_monotone_rows(self, sample):
+        """The rising series' marks move upward (smaller row index)
+        left to right."""
+        d, series = sample
+        out = line_chart(d, {"rising": series["rising"]}, height=12,
+                         width=40)
+        rows_by_col = {}
+        for r, line in enumerate(out.splitlines()):
+            if "│" not in line and "┤" not in line:
+                continue  # only scan the plot body, not the legend
+            body = line.split("┤")[-1].split("│")[-1]
+            offset = len(line) - len(body)
+            for c, ch in enumerate(body):
+                if ch == "o":
+                    rows_by_col[offset + c] = r
+        cols = sorted(rows_by_col)
+        rows = [rows_by_col[c] for c in cols]
+        assert rows == sorted(rows, reverse=True)
+
+    def test_linear_scale(self, sample):
+        d, series = sample
+        out = line_chart(d, series, log_y=False)
+        assert "[y: s]" in out
+
+    def test_handles_nonpositive_points(self):
+        out = line_chart([1, 2, 3], {"a": [0.0, 0.5, 1.0]})
+        assert "a" in out  # zero point skipped, chart still renders
+
+    def test_invalid_inputs(self, sample):
+        d, series = sample
+        with pytest.raises(ValueError):
+            line_chart([], series)
+        with pytest.raises(ValueError):
+            line_chart(d, {})
+        with pytest.raises(ValueError):
+            line_chart(d, series, height=2)
+        with pytest.raises(ValueError):
+            line_chart(d, {"a": [-1.0] * 4})

@@ -1,0 +1,66 @@
+"""Tests for the brute-force reference search."""
+
+import numpy as np
+
+from repro.core.bruteforce import brute_force_search
+from repro.core.distance import compare_pairs
+from repro.core.result import ResultSet
+from repro.core.types import SegmentArray
+
+
+class TestBruteForce:
+    def test_empty_inputs(self, small_db):
+        empty = SegmentArray.empty()
+        assert len(brute_force_search(empty, small_db, 1.0)) == 0
+        assert len(brute_force_search(small_db, empty, 1.0)) == 0
+
+    def test_monotone_in_d(self, small_db, small_queries):
+        sizes = [len(brute_force_search(small_queries, small_db, d)
+                     .deduplicated())
+                 for d in (0.5, 2.0, 8.0)]
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_huge_d_returns_all_overlapping_pairs(self, small_db,
+                                                  small_queries):
+        res = brute_force_search(small_queries, small_db, 1e9)
+        # Every temporally overlapping pair must be reported.
+        expected = 0
+        for i in range(len(small_queries)):
+            t0 = np.maximum(small_queries.ts[i], small_db.ts)
+            t1 = np.minimum(small_queries.te[i], small_db.te)
+            expected += int(np.count_nonzero(t0 <= t1))
+        assert len(res) == expected
+
+    def test_agrees_with_direct_pair_refinement(self, small_db,
+                                                small_queries):
+        d = 2.5
+        res = brute_force_search(small_queries, small_db, d).canonical()
+        # Re-derive by one flat compare_pairs call.
+        nq, ne = len(small_queries), len(small_db)
+        qs = np.repeat(np.arange(nq), ne)
+        es = np.tile(np.arange(ne), nq)
+        ref = compare_pairs(small_queries, small_db, qs, es, d)
+        expect = ResultSet(small_queries.seg_ids[qs[ref.mask]],
+                           small_db.seg_ids[es[ref.mask]],
+                           ref.t_lo[ref.mask],
+                           ref.t_hi[ref.mask]).canonical()
+        assert res.equivalent_to(expect)
+
+    def test_chunking_invariance(self, small_db, small_queries,
+                                 monkeypatch):
+        """Result must not depend on the internal chunk size."""
+        import repro.core.bruteforce as bf
+        baseline = brute_force_search(small_queries, small_db, 2.5)
+        monkeypatch.setattr(bf, "_CHUNK_PAIRS", 1000)
+        chunked = brute_force_search(small_queries, small_db, 2.5)
+        assert baseline.equivalent_to(chunked)
+
+    def test_exclude_same_trajectory(self, small_db):
+        own = brute_force_search(small_db, small_db, 0.5)
+        cross = brute_force_search(small_db, small_db, 0.5,
+                                   exclude_same_trajectory=True)
+        assert len(cross) < len(own)
+        tid = {int(s): int(t) for s, t in zip(small_db.seg_ids,
+                                              small_db.traj_ids)}
+        for q, e in cross.pairs():
+            assert tid[q] != tid[e]

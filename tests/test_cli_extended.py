@@ -1,0 +1,73 @@
+"""Tests for the extended CLI commands (plan/stats/report/verify/trace)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def db_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli2") / "db.npz"
+    assert main(["generate", "random-dense", "--scale", "0.002",
+                 "--out", str(path)]) == 0
+    return str(path)
+
+
+class TestPlan:
+    def test_plan_ranks_engines(self, db_path, capsys):
+        assert main(["plan", db_path, "--d", "0.05",
+                     "--num-bins", "100",
+                     "--query-trajectories", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "engine ranking" in out
+        for eng in ("gpu_temporal", "gpu_spatiotemporal", "cpu_rtree",
+                    "gpu_spatial"):
+            assert eng in out
+
+
+class TestStats:
+    def test_stats_reports_all_indexes(self, db_path, capsys):
+        assert main(["stats", db_path, "--num-bins", "50",
+                     "--num-subbins", "2", "--cells-per-dim", "8"]) == 0
+        out = capsys.readouterr().out
+        for token in ("FsgStats", "TemporalStats",
+                      "SpatioTemporalStats", "RTreeStats"):
+            assert token in out
+
+
+class TestVerifyAndTrace:
+    def test_search_with_verify(self, db_path, capsys):
+        assert main(["search", db_path, "--d", "0.05",
+                     "--method", "gpu_temporal", "--num-bins", "50",
+                     "--query-trajectories", "2", "--verify"]) == 0
+        assert "verification: PASS" in capsys.readouterr().out
+
+    def test_search_with_trace(self, db_path, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["search", db_path, "--d", "0.05",
+                     "--method", "gpu_temporal", "--num-bins", "50",
+                     "--query-trajectories", "2",
+                     "--trace", str(trace)]) == 0
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+
+    def test_trace_skipped_for_cpu_engine(self, db_path, tmp_path,
+                                          capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["search", db_path, "--d", "0.05",
+                     "--method", "cpu_rtree",
+                     "--query-trajectories", "2",
+                     "--trace", str(trace)]) == 0
+        assert "skipped" in capsys.readouterr().out
+        assert not trace.exists()
+
+
+class TestReport:
+    def test_report_command(self, tmp_path, capsys):
+        (tmp_path / "fig4_random.txt").write_text("table")
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "REPORT.md" in out
+        assert (tmp_path / "REPORT.md").exists()

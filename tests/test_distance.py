@@ -1,0 +1,198 @@
+"""Tests for the continuous moving-point interval solver.
+
+The solver is the ground truth everything else builds on, so it is tested
+three ways: hand-computed cases, adversarial degenerate cases, and a
+hypothesis property comparing against dense numerical sampling of the true
+distance function.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distance import compare_pairs, distance_at
+from repro.core.types import SegmentArray, Trajectory
+
+
+def seg(traj_id, t0, t1, p0, p1):
+    return Trajectory(traj_id, np.array([t0, t1], dtype=float),
+                      np.array([p0, p1], dtype=float))
+
+
+def single_pair(q_traj, e_traj, d, **kw):
+    q = SegmentArray.from_trajectories([q_traj])
+    e = SegmentArray.from_trajectories([e_traj])
+    return compare_pairs(q, e, np.array([0]), np.array([0]), d, **kw)
+
+
+class TestHandComputed:
+    def test_head_on_crossing(self):
+        # Two points moving toward each other along x, meeting at t=0.5.
+        q = seg(0, 0.0, 1.0, [0, 0, 0], [10, 0, 0])
+        e = seg(1, 0.0, 1.0, [10, 0, 0], [0, 0, 0])
+        res = single_pair(q, e, 2.0)
+        assert res.num_hits == 1
+        # |delta(t)| = |10 - 20t|; <= 2 for t in [0.4, 0.6].
+        np.testing.assert_allclose(res.t_lo[0], 0.4, atol=1e-12)
+        np.testing.assert_allclose(res.t_hi[0], 0.6, atol=1e-12)
+
+    def test_parallel_within_threshold(self):
+        q = seg(0, 0.0, 1.0, [0, 0, 0], [5, 0, 0])
+        e = seg(1, 0.2, 0.8, [0, 1, 0], [3, 1, 0])
+        # Velocities differ; compute overlap is [0.2, 0.8].
+        res = single_pair(q, e, 10.0)
+        assert res.num_hits == 1
+        assert res.t_lo[0] >= 0.2 - 1e-12
+        assert res.t_hi[0] <= 0.8 + 1e-12
+
+    def test_identical_velocity_constant_distance(self):
+        q = seg(0, 0.0, 1.0, [0, 0, 0], [1, 1, 1])
+        e = seg(1, 0.0, 1.0, [0, 0, 3], [1, 1, 4])  # always 3 away
+        hit = single_pair(q, e, 3.0)
+        assert hit.num_hits == 1            # closed threshold: == d counts
+        np.testing.assert_allclose(hit.t_lo[0], 0.0)
+        np.testing.assert_allclose(hit.t_hi[0], 1.0)
+        miss = single_pair(q, e, 2.999)
+        assert miss.num_hits == 0
+
+    def test_no_temporal_overlap(self):
+        q = seg(0, 0.0, 1.0, [0, 0, 0], [0, 0, 0])
+        e = seg(1, 2.0, 3.0, [0, 0, 0], [0, 0, 0])
+        assert single_pair(q, e, 100.0).num_hits == 0
+
+    def test_touching_extents_count(self):
+        # Overlap is exactly the instant t=1 (closed intervals).
+        q = seg(0, 0.0, 1.0, [0, 0, 0], [1, 0, 0])
+        e = seg(1, 1.0, 2.0, [1, 0, 0], [5, 0, 0])
+        res = single_pair(q, e, 0.5)
+        assert res.num_hits == 1
+        np.testing.assert_allclose(res.t_lo[0], 1.0)
+        np.testing.assert_allclose(res.t_hi[0], 1.0)
+
+    def test_grazing_tangent(self):
+        # Closest approach exactly equals d: single-instant interval.
+        q = seg(0, 0.0, 1.0, [0, 0, 0], [0, 0, 0])       # stationary
+        e = seg(1, 0.0, 1.0, [-5, 3, 0], [5, 3, 0])      # passes at y=3
+        res = single_pair(q, e, 3.0)
+        assert res.num_hits == 1
+        np.testing.assert_allclose(res.t_lo[0], 0.5, atol=1e-9)
+        np.testing.assert_allclose(res.t_hi[0], 0.5, atol=1e-9)
+
+    def test_approach_outside_overlap_window(self):
+        # Closest approach at t=0.5 but entry only exists for t >= 0.9,
+        # by which time they are far apart again.
+        q = seg(0, 0.0, 1.0, [0, 0, 0], [0, 0, 0])
+        e = seg(1, 0.9, 1.0, [8, 0, 0], [10, 0, 0])
+        assert single_pair(q, e, 1.0).num_hits == 0
+
+    def test_zero_extent_event_segment(self):
+        # A supernova-style instantaneous event: ts == te (built directly,
+        # Trajectory requires strictly increasing times).
+        one = np.ones(1)
+        q = SegmentArray(one, one, one, 0.5 * one,
+                         one, one, one, 0.5 * one,
+                         np.zeros(1, dtype=np.int64))
+        e_traj = seg(1, 0.0, 1.0, [0, 1, 1], [2, 1, 1])  # at [1,1,1] @ 0.5
+        e = SegmentArray.from_trajectories([e_traj])
+        res = compare_pairs(q, e, np.array([0]), np.array([0]), 0.1)
+        assert res.num_hits == 1
+        np.testing.assert_allclose(res.t_lo[0], res.t_hi[0])
+
+    def test_exclude_same_trajectory(self):
+        a = seg(5, 0.0, 1.0, [0, 0, 0], [1, 0, 0])
+        b = seg(5, 1.0, 2.0, [1, 0, 0], [2, 0, 0])
+        assert single_pair(a, b, 10.0).num_hits == 1
+        assert single_pair(a, b, 10.0,
+                           exclude_same_trajectory=True).num_hits == 0
+
+    def test_d_zero_exact_collision(self):
+        q = seg(0, 0.0, 1.0, [0, 0, 0], [2, 0, 0])
+        e = seg(1, 0.0, 1.0, [2, 0, 0], [0, 0, 0])
+        res = single_pair(q, e, 0.0)
+        assert res.num_hits == 1
+        np.testing.assert_allclose(res.t_lo[0], 0.5, atol=1e-9)
+
+    def test_negative_d_rejected(self):
+        q = seg(0, 0.0, 1.0, [0, 0, 0], [1, 0, 0])
+        with pytest.raises(ValueError, match="non-negative"):
+            single_pair(q, q, -1.0)
+
+    def test_mismatched_index_arrays_rejected(self):
+        q = SegmentArray.from_trajectories(
+            [seg(0, 0.0, 1.0, [0, 0, 0], [1, 0, 0])])
+        with pytest.raises(ValueError, match="equal-length"):
+            compare_pairs(q, q, np.array([0, 0]), np.array([0]), 1.0)
+
+    def test_empty_batch(self):
+        q = SegmentArray.from_trajectories(
+            [seg(0, 0.0, 1.0, [0, 0, 0], [1, 0, 0])])
+        res = compare_pairs(q, q, np.zeros(0, dtype=int),
+                            np.zeros(0, dtype=int), 1.0)
+        assert len(res) == 0 and res.num_hits == 0
+
+
+# -- property: solver vs dense sampling of the true distance ---------------
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+times = st.floats(min_value=0, max_value=10, allow_nan=False)
+
+
+@st.composite
+def random_pair(draw):
+    t0q = draw(times)
+    t1q = t0q + draw(st.floats(min_value=0.1, max_value=10))
+    t0e = draw(times)
+    t1e = t0e + draw(st.floats(min_value=0.1, max_value=10))
+    pts = [draw(coords) for _ in range(12)]
+    q = seg(0, t0q, t1q, pts[0:3], pts[3:6])
+    e = seg(1, t0e, t1e, pts[6:9], pts[9:12])
+    d = draw(st.floats(min_value=0.01, max_value=30))
+    return q, e, d
+
+
+@given(random_pair())
+@settings(max_examples=200, deadline=None)
+def test_solver_agrees_with_dense_sampling(pair):
+    q_traj, e_traj, d = pair
+    q = SegmentArray.from_trajectories([q_traj])
+    e = SegmentArray.from_trajectories([e_traj])
+    res = compare_pairs(q, e, np.array([0]), np.array([0]), d)
+
+    t0 = max(q_traj.times[0], e_traj.times[0])
+    t1 = min(q_traj.times[-1], e_traj.times[-1])
+    if t0 > t1:
+        assert res.num_hits == 0
+        return
+    ts = np.linspace(t0, t1, 2001)
+    dist = distance_at(q, e, 0, 0, ts)
+    inside = dist <= d
+
+    if res.num_hits == 0:
+        # No reported interval: sampling must not find a clearly-inside
+        # point (tolerance for grazing contact at the sampling grid).
+        assert not np.any(dist < d - 1e-6)
+    else:
+        lo, hi = res.t_lo[0], res.t_hi[0]
+        assert t0 - 1e-9 <= lo <= hi <= t1 + 1e-9
+        # Every sampled point strictly inside the reported interval is
+        # within d; every point clearly inside d is within the interval.
+        strict = (ts > lo + 1e-9) & (ts < hi - 1e-9)
+        assert np.all(dist[strict] <= d + 1e-6)
+        clearly_in = dist < d - 1e-6
+        assert np.all((ts[clearly_in] >= lo - 1e-6)
+                      & (ts[clearly_in] <= hi + 1e-6))
+
+
+@given(random_pair())
+@settings(max_examples=100, deadline=None)
+def test_solver_symmetry(pair):
+    """compare(q, e) and compare(e, q) report the same interval."""
+    q_traj, e_traj, d = pair
+    q = SegmentArray.from_trajectories([q_traj])
+    e = SegmentArray.from_trajectories([e_traj])
+    ab = compare_pairs(q, e, np.array([0]), np.array([0]), d)
+    ba = compare_pairs(e, q, np.array([0]), np.array([0]), d)
+    assert ab.num_hits == ba.num_hits
+    if ab.num_hits:
+        np.testing.assert_allclose(ab.t_lo, ba.t_lo, atol=1e-9)
+        np.testing.assert_allclose(ab.t_hi, ba.t_hi, atol=1e-9)

@@ -1,0 +1,109 @@
+"""Tests for database partitioning and the simulated GPU cluster."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_force_search
+from repro.core.types import concatenate
+from repro.distributed import (GpuCluster, PARTITION_STRATEGIES,
+                               partition_database)
+from repro.engines import GpuTemporalEngine
+from repro.gpu.costmodel import GpuCostModel
+
+
+class TestPartition:
+    @pytest.mark.parametrize("strategy", sorted(PARTITION_STRATEGIES))
+    def test_disjoint_and_covering(self, small_db, strategy):
+        shards = partition_database(small_db, 4, strategy)
+        assert len(shards) == 4
+        all_ids = np.concatenate([s.seg_ids for s in shards])
+        assert all_ids.size == len(small_db)
+        np.testing.assert_array_equal(np.sort(all_ids),
+                                      np.sort(small_db.seg_ids))
+
+    def test_round_robin_deals_whole_trajectories(self, small_db):
+        shards = partition_database(small_db, 3, "round_robin")
+        seen: dict[int, int] = {}
+        for n, shard in enumerate(shards):
+            for t in np.unique(shard.traj_ids):
+                assert t not in seen, "trajectory split across nodes"
+                seen[int(t)] = n
+
+    def test_temporal_slices_ordered(self, small_db):
+        shards = partition_database(small_db, 3, "temporal")
+        maxima = [s.ts.max() for s in shards[:-1]]
+        minima = [s.ts.min() for s in shards[1:]]
+        for hi, lo in zip(maxima, minima):
+            assert hi <= lo + 1e-9
+
+    def test_spatial_slabs_ordered(self, small_db):
+        shards = partition_database(small_db, 3, "spatial")
+        mins, maxs = small_db.spatial_bounds()
+        axis = int(np.argmax(maxs - mins))
+        centers = [0.5 * (s.starts[:, axis] + s.ends[:, axis])
+                   for s in shards]
+        for a, b in zip(centers, centers[1:]):
+            assert a.max() <= b.min() + 1e-9
+
+    def test_bad_args(self, small_db):
+        with pytest.raises(ValueError):
+            partition_database(small_db, 0)
+        with pytest.raises(ValueError):
+            partition_database(small_db, 2, "zigzag")
+
+    def test_single_node_identity(self, small_db):
+        shards = partition_database(small_db, 1)
+        assert concatenate(shards) == small_db
+
+
+class TestCluster:
+    @pytest.mark.parametrize("strategy", sorted(PARTITION_STRATEGIES))
+    def test_cluster_equals_single_node(self, db_queries_truth, strategy):
+        """Merged per-shard results == whole-database search."""
+        db, queries, d, truth = db_queries_truth
+        cluster = GpuCluster(
+            db, 3, lambda shard: GpuTemporalEngine(shard, num_bins=20),
+            strategy=strategy)
+        res, prof = cluster.search(queries, d)
+        assert res.equivalent_to(truth)
+        assert prof.num_nodes == 3
+        assert len(prof.node_profiles) == 3
+
+    def test_modeled_time_is_slowest_node(self, db_queries_truth):
+        db, queries, d, _ = db_queries_truth
+        cluster = GpuCluster(
+            db, 2, lambda shard: GpuTemporalEngine(shard, num_bins=20))
+        _, prof = cluster.search(queries, d)
+        m = GpuCostModel()
+        per_node = [p.modeled_time(m).total for p in prof.node_profiles]
+        assert prof.modeled_time(m).total == pytest.approx(max(per_node))
+
+    def test_imbalance_metric(self, db_queries_truth):
+        db, queries, d, _ = db_queries_truth
+        rr = GpuCluster(db, 3,
+                        lambda s: GpuTemporalEngine(s, num_bins=20),
+                        strategy="round_robin")
+        _, prof = rr.search(queries, d)
+        assert prof.imbalance() >= 1.0
+
+    def test_scaling_reduces_per_node_work(self, db_queries_truth):
+        """More nodes => less work on the busiest node (the reason the
+        paper wants clusters at all)."""
+        db, queries, d, _ = db_queries_truth
+        m = GpuCostModel()
+        times = []
+        for n in (1, 2, 4):
+            cluster = GpuCluster(
+                db, n, lambda s: GpuTemporalEngine(s, num_bins=20))
+            _, prof = cluster.search(queries, d)
+            times.append(prof.modeled_time(m).total)
+        assert times[2] < times[0]
+
+    def test_exclude_same_trajectory_propagates(self, small_db):
+        cluster = GpuCluster(
+            small_db, 2, lambda s: GpuTemporalEngine(s, num_bins=20))
+        res, _ = cluster.search(small_db, 0.5,
+                                exclude_same_trajectory=True)
+        truth = brute_force_search(small_db, small_db, 0.5,
+                                   exclude_same_trajectory=True)
+        assert res.equivalent_to(truth)

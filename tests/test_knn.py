@@ -1,0 +1,161 @@
+"""Tests for the kNN extension (future-work §VI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.knn import (TrajectoryKnn, knn_brute_force,
+                            pair_min_distance)
+from repro.core.distance import compare_pairs, distance_at
+from repro.core.types import SegmentArray, Trajectory
+from tests.conftest import make_walk_trajectories
+
+
+def seg(traj_id, t0, t1, p0, p1):
+    return Trajectory(traj_id, np.array([t0, t1], dtype=float),
+                      np.array([p0, p1], dtype=float))
+
+
+class TestPairMinDistance:
+    def test_crossing_pair_min_zero(self):
+        q = SegmentArray.from_trajectories(
+            [seg(0, 0.0, 1.0, [0, 0, 0], [10, 0, 0])])
+        e = SegmentArray.from_trajectories(
+            [seg(1, 0.0, 1.0, [10, 0, 0], [0, 0, 0])])
+        ov, d = pair_min_distance(q, e, np.array([0]), np.array([0]))
+        assert ov[0] and d[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_separation(self):
+        q = SegmentArray.from_trajectories(
+            [seg(0, 0.0, 1.0, [0, 0, 0], [1, 0, 0])])
+        e = SegmentArray.from_trajectories(
+            [seg(1, 0.0, 1.0, [0, 2, 0], [1, 2, 0])])
+        _, d = pair_min_distance(q, e, np.array([0]), np.array([0]))
+        assert d[0] == pytest.approx(2.0)
+
+    def test_min_at_window_edge(self):
+        """Unconstrained minimum outside the overlap: clamped."""
+        q = SegmentArray.from_trajectories(
+            [seg(0, 0.0, 0.3, [0, 0, 0], [0, 0, 0])])
+        # Approaches origin, closest at t=0.5 — after the window ends.
+        e = SegmentArray.from_trajectories(
+            [seg(1, 0.0, 1.0, [10, 1, 0], [-10, 1, 0])])
+        _, d = pair_min_distance(q, e, np.array([0]), np.array([0]))
+        expect = float(np.hypot(10 - 20 * 0.3, 1.0))
+        assert d[0] == pytest.approx(expect)
+
+    def test_no_overlap_inf(self):
+        q = SegmentArray.from_trajectories(
+            [seg(0, 0.0, 1.0, [0, 0, 0], [1, 0, 0])])
+        e = SegmentArray.from_trajectories(
+            [seg(1, 5.0, 6.0, [0, 0, 0], [1, 0, 0])])
+        ov, d = pair_min_distance(q, e, np.array([0]), np.array([0]))
+        assert not ov[0] and np.isinf(d[0])
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_consistent_with_interval_solver(self, s):
+        """compare_pairs(d) hits exactly when d_min <= d."""
+        rng = np.random.default_rng(s)
+        q = SegmentArray.from_trajectories(
+            [seg(0, 0.0, 1.0, rng.uniform(-5, 5, 3),
+                 rng.uniform(-5, 5, 3))])
+        e = SegmentArray.from_trajectories(
+            [seg(1, 0.3, 1.4, rng.uniform(-5, 5, 3),
+                 rng.uniform(-5, 5, 3))])
+        _, dmin = pair_min_distance(q, e, np.array([0]), np.array([0]))
+        for margin in (-1e-6, 1e-6):
+            res = compare_pairs(q, e, np.array([0]), np.array([0]),
+                                float(dmin[0]) + margin)
+            assert res.num_hits == (1 if margin > 0 else res.num_hits)
+            if margin > 0:
+                assert res.num_hits == 1
+        tight = compare_pairs(q, e, np.array([0]), np.array([0]),
+                              max(float(dmin[0]) - 1e-6, 0.0))
+        if dmin[0] > 1e-6:
+            assert tight.num_hits == 0
+
+
+class TestKnnBruteForce:
+    def test_hand_computed(self):
+        q = SegmentArray.from_trajectories(
+            [seg(0, 0.0, 1.0, [0, 0, 0], [0, 0, 0])])
+        entries = SegmentArray.from_trajectories([
+            seg(1, 0.0, 1.0, [1, 0, 0], [1, 0, 0]),
+            seg(2, 0.0, 1.0, [3, 0, 0], [3, 0, 0]),
+            seg(3, 0.0, 1.0, [2, 0, 0], [2, 0, 0]),
+            seg(4, 9.0, 10.0, [0, 0, 0], [0, 0, 0]),  # no overlap
+        ])
+        res = knn_brute_force(q, entries, 2)
+        assert res.counts[0] == 2
+        np.testing.assert_array_equal(res.neighbor_ids[0], [0, 2])
+        np.testing.assert_allclose(res.distances[0], [1.0, 2.0])
+
+    def test_fewer_than_k_available(self):
+        q = SegmentArray.from_trajectories(
+            [seg(0, 0.0, 1.0, [0, 0, 0], [0, 0, 0])])
+        entries = SegmentArray.from_trajectories(
+            [seg(1, 0.0, 1.0, [1, 0, 0], [1, 0, 0])])
+        res = knn_brute_force(q, entries, 5)
+        assert res.counts[0] == 1
+        assert res.neighbor_ids[0, 1] == -1
+        assert np.isinf(res.distances[0, 1])
+
+    def test_invalid_k(self, small_db):
+        with pytest.raises(ValueError):
+            knn_brute_force(small_db, small_db, 0)
+
+    def test_distances_sorted(self, small_db, small_queries):
+        res = knn_brute_force(small_queries, small_db, 4)
+        for i in range(len(res)):
+            c = res.counts[i]
+            d = res.distances[i, :c]
+            assert np.all(np.diff(d) >= 0)
+
+
+class TestTrajectoryKnn:
+    @pytest.mark.parametrize("method,params", [
+        ("gpu_temporal", {"num_bins": 40}),
+        ("gpu_spatiotemporal", {"num_bins": 40, "num_subbins": 2,
+                                "strict_subbins": False}),
+        ("cpu_rtree", {}),
+    ])
+    def test_matches_brute_force(self, small_db, small_queries, method,
+                                 params):
+        knn = TrajectoryKnn(small_db, method=method, **params)
+        got = knn.query(small_queries, 3)
+        want = knn_brute_force(small_queries, small_db, 3)
+        np.testing.assert_array_equal(got.counts, want.counts)
+        # Distances must agree exactly; ids may differ only under ties.
+        np.testing.assert_allclose(got.distances, want.distances,
+                                   atol=1e-9)
+
+    def test_exclude_same_trajectory(self, small_db):
+        sub = small_db.take(np.arange(40))
+        knn = TrajectoryKnn(small_db, method="gpu_temporal", num_bins=40)
+        res = knn.query(sub, 2, exclude_same_trajectory=True)
+        tid = {int(s): int(t) for s, t in zip(small_db.seg_ids,
+                                              small_db.traj_ids)}
+        for i in range(len(res)):
+            for j in range(res.counts[i]):
+                assert tid[int(res.neighbor_ids[i, j])] \
+                    != int(sub.traj_ids[i])
+
+    def test_small_initial_radius_still_exact(self, small_db,
+                                              small_queries):
+        """Deepening from a hopeless starting radius converges."""
+        knn = TrajectoryKnn(small_db, method="gpu_temporal", num_bins=40)
+        got = knn.query(small_queries, 2, initial_radius=1e-6)
+        want = knn_brute_force(small_queries, small_db, 2)
+        np.testing.assert_allclose(got.distances, want.distances,
+                                   atol=1e-9)
+
+    def test_initial_radius_positive(self, small_db):
+        knn = TrajectoryKnn(small_db, method="gpu_temporal", num_bins=40)
+        assert knn.initial_radius(1) > 0
+        assert knn.initial_radius(8) > knn.initial_radius(1)
+
+    def test_invalid_k(self, small_db, small_queries):
+        knn = TrajectoryKnn(small_db, method="gpu_temporal", num_bins=40)
+        with pytest.raises(ValueError):
+            knn.query(small_queries, 0)

@@ -1,0 +1,139 @@
+"""Metamorphic properties of the distance-threshold search.
+
+The search's semantics are invariant under transformations of the whole
+workload; every engine must commute with them:
+
+* **spatial translation** — shifting all coordinates by a constant
+  vector changes nothing;
+* **uniform scaling** — scaling space by ``s`` and the threshold by
+  ``s`` preserves the result pairs and intervals;
+* **time shift** — shifting all times by ``Δ`` shifts the intervals by
+  exactly ``Δ``;
+* **axis permutation** — relabeling (x, y, z) changes nothing (catches
+  transposed-axis bugs in the subbin/grid machinery);
+* **database row permutation** — engines must not depend on input
+  order.
+
+These catch whole classes of indexing bugs that example-based tests
+miss (wrong axis, missing d-expansion, off-by-one bin shifts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.result import ResultSet
+from repro.core.types import SegmentArray
+from repro.engines import (CpuRTreeEngine, GpuSpatialEngine,
+                           GpuSpatioTemporalEngine, GpuTemporalEngine)
+from tests.conftest import make_walk_trajectories
+
+FACTORIES = {
+    "gpu_temporal": lambda db: GpuTemporalEngine(db, num_bins=16),
+    "gpu_spatial": lambda db: GpuSpatialEngine(db, cells_per_dim=6),
+    "gpu_spatiotemporal": lambda db: GpuSpatioTemporalEngine(
+        db, num_bins=16, num_subbins=2, strict_subbins=False),
+    "cpu_rtree": lambda db: CpuRTreeEngine(db, segments_per_mbb=2),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = SegmentArray.from_trajectories(
+        make_walk_trajectories(16, 10, seed=21, box=15.0))
+    q = db.take(np.arange(0, len(db), 7))
+    return db, q, 2.0
+
+
+def transform(seg: SegmentArray, *, shift=(0.0, 0.0, 0.0), scale=1.0,
+              tshift=0.0, axes=(0, 1, 2)) -> SegmentArray:
+    coords = [np.stack([seg.xs, seg.ys, seg.zs]),
+              np.stack([seg.xe, seg.ye, seg.ze])]
+    out = []
+    for c in coords:
+        c = c[list(axes)] * scale + np.asarray(shift)[:, None]
+        out.append(c)
+    (xs, ys, zs), (xe, ye, ze) = out
+    return SegmentArray(xs, ys, zs, seg.ts + tshift, xe, ye, ze,
+                        seg.te + tshift, seg.traj_ids, seg.seg_ids)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestInvariances:
+    def run(self, name, db, q, d):
+        res, _ = FACTORIES[name](db).search(q, d)
+        return res.canonical()
+
+    def test_spatial_translation(self, name, workload):
+        db, q, d = workload
+        base = self.run(name, db, q, d)
+        shift = (123.0, -45.0, 6.0)
+        moved = self.run(name, transform(db, shift=shift),
+                         transform(q, shift=shift), d)
+        assert base.equivalent_to(moved)
+
+    def test_uniform_scaling(self, name, workload):
+        db, q, d = workload
+        base = self.run(name, db, q, d)
+        s = 7.5
+        scaled = self.run(name, transform(db, scale=s),
+                          transform(q, scale=s), d * s)
+        assert base.equivalent_to(scaled)
+
+    def test_time_shift_moves_intervals(self, name, workload):
+        db, q, d = workload
+        base = self.run(name, db, q, d)
+        dt = 1000.0
+        shifted = self.run(name, transform(db, tshift=dt),
+                           transform(q, tshift=dt), d)
+        assert np.array_equal(base.q_ids, shifted.q_ids)
+        assert np.array_equal(base.e_ids, shifted.e_ids)
+        np.testing.assert_allclose(shifted.t_lo, base.t_lo + dt,
+                                   atol=1e-6)
+        np.testing.assert_allclose(shifted.t_hi, base.t_hi + dt,
+                                   atol=1e-6)
+
+    def test_axis_permutation(self, name, workload):
+        db, q, d = workload
+        base = self.run(name, db, q, d)
+        perm = (2, 0, 1)
+        permuted = self.run(name, transform(db, axes=perm),
+                            transform(q, axes=perm), d)
+        assert base.equivalent_to(permuted)
+
+    def test_database_row_permutation(self, name, workload):
+        db, q, d = workload
+        base = self.run(name, db, q, d)
+        rng = np.random.default_rng(3)
+        shuffled = db.take(rng.permutation(len(db)))
+        assert base.equivalent_to(self.run(name, shuffled, q, d))
+
+    def test_query_row_permutation(self, name, workload):
+        db, q, d = workload
+        base = self.run(name, db, q, d)
+        rng = np.random.default_rng(4)
+        shuffled = q.take(rng.permutation(len(q)))
+        assert base.equivalent_to(self.run(name, db, shuffled, d))
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_results_monotone_in_d(self, name, workload):
+        """The result pair set only grows with d."""
+        db, q, _ = workload
+        engine = FACTORIES[name](db)
+        prev: set = set()
+        for d in (0.5, 1.5, 4.0):
+            res, _ = engine.search(q, d)
+            pairs = res.pairs()
+            assert prev <= pairs
+            prev = pairs
+
+    def test_subset_queries_subset_results(self, workload):
+        db, q, d = workload
+        engine = GpuTemporalEngine(db, num_bins=16)
+        full, _ = engine.search(q, d)
+        half_q = q.take(np.arange(0, len(q), 2))
+        half, _ = engine.search(half_q, d)
+        kept = set(half_q.seg_ids.tolist())
+        expect = {(a, b) for a, b in full.pairs() if a in kept}
+        assert half.pairs() == expect

@@ -1,0 +1,104 @@
+"""Unit tests for ResultSet and interval merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.result import ResultSet, merge_intervals
+
+
+def rs(pairs, intervals=None):
+    q = np.array([p[0] for p in pairs], dtype=np.int64)
+    e = np.array([p[1] for p in pairs], dtype=np.int64)
+    if intervals is None:
+        intervals = [(0.0, 1.0)] * len(pairs)
+    lo = np.array([i[0] for i in intervals])
+    hi = np.array([i[1] for i in intervals])
+    return ResultSet(q, e, lo, hi)
+
+
+class TestResultSet:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ResultSet(np.zeros(2, dtype=np.int64),
+                      np.zeros(1, dtype=np.int64), np.zeros(2),
+                      np.zeros(2))
+
+    def test_dedup_removes_pair_duplicates(self):
+        r = rs([(1, 2), (1, 2), (1, 3), (2, 2), (1, 2)])
+        d = r.deduplicated()
+        assert len(d) == 3
+        assert d.pairs() == {(1, 2), (1, 3), (2, 2)}
+
+    def test_dedup_keeps_first_occurrence_order(self):
+        r = rs([(5, 5), (1, 1), (5, 5), (3, 3)])
+        d = r.deduplicated()
+        assert list(d.q_ids) == [5, 1, 3]
+
+    def test_canonical_is_sorted(self):
+        r = rs([(3, 1), (1, 2), (1, 1), (2, 9)])
+        c = r.canonical()
+        keys = list(zip(c.q_ids, c.e_ids))
+        assert keys == sorted(keys)
+
+    def test_equivalent_ignores_order_and_duplicates(self):
+        a = rs([(1, 2), (3, 4)], [(0, 1), (2, 3)])
+        b = rs([(3, 4), (1, 2), (1, 2)], [(2, 3), (0, 1), (0, 1)])
+        assert a.equivalent_to(b)
+        c = rs([(1, 2)], [(0, 1)])
+        assert not a.equivalent_to(c)
+        # Same pairs, different interval => not equivalent.
+        d = rs([(1, 2), (3, 4)], [(0, 1), (2, 3.5)])
+        assert not a.equivalent_to(d)
+
+    def test_from_parts(self):
+        parts = [rs([(1, 1)]), ResultSet(), rs([(2, 2), (3, 3)])]
+        merged = ResultSet.from_parts(parts)
+        assert len(merged) == 3
+        assert ResultSet.from_parts([]).pairs() == set()
+
+    def test_by_trajectory_merges_adjacent_segments(self):
+        # Segments 10,11 belong to query traj 1; entries 20,21 to traj 2.
+        r = rs([(10, 20), (11, 21)], [(0.0, 1.0), (1.0, 2.0)])
+        q_map = {10: 1, 11: 1}
+        e_map = {20: 2, 21: 2}
+        episodes = r.by_trajectory(q_map, e_map)
+        assert episodes == {(1, 2): [(0.0, 2.0)]}
+
+    def test_by_trajectory_keeps_gaps(self):
+        r = rs([(10, 20), (11, 21)], [(0.0, 1.0), (5.0, 6.0)])
+        episodes = r.by_trajectory({10: 1, 11: 1}, {20: 2, 21: 2})
+        assert episodes == {(1, 2): [(0.0, 1.0), (5.0, 6.0)]}
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_kept_sorted(self):
+        out = merge_intervals([(5, 6), (0, 1)])
+        assert out == [(0, 1), (5, 6)]
+
+    def test_overlapping_merged(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_touching_merged(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_containment(self):
+        assert merge_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)),
+                    max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_properties(self, raw):
+        intervals = [(min(a, b), max(a, b)) for a, b in raw]
+        merged = merge_intervals(intervals)
+        # Sorted, disjoint with gaps.
+        for (l1, h1), (l2, h2) in zip(merged, merged[1:]):
+            assert h1 < l2
+        # Total coverage preserved: every original endpoint is inside
+        # some merged interval.
+        for lo, hi in intervals:
+            assert any(mlo - 1e-9 <= lo and hi <= mhi + 1e-9
+                       for mlo, mhi in merged)

@@ -1,0 +1,92 @@
+"""Tests for the cost-model sensitivity analysis."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner, scenario_s2_merger
+from repro.experiments.sensitivity import (CPU_PARAMETERS,
+                                           GPU_PARAMETERS, ProfileSet,
+                                           SensitivityRow,
+                                           collect_profiles,
+                                           crossover_distance,
+                                           sensitivity_analysis)
+from repro.gpu.costmodel import CpuCostModel, GpuCostModel
+
+
+@pytest.fixture(scope="module")
+def profile_set():
+    runner = ExperimentRunner(scenario_s2_merger(0.01))
+    return collect_profiles(
+        runner, ["cpu_rtree", "gpu_spatiotemporal"],
+        d_values=(0.01, 1.0, 2.0, 3.5, 5.0))
+
+
+class TestCrossover:
+    def test_basic(self):
+        d = (1.0, 2.0, 3.0)
+        assert crossover_distance(d, [5, 2, 1], [3, 3, 3]) == 2.0
+        assert crossover_distance(d, [5, 5, 5], [3, 3, 3]) is None
+        assert crossover_distance(d, [1, 9, 9], [3, 3, 3]) == 1.0
+
+
+class TestProfileSet:
+    def test_pricing_shapes(self, profile_set):
+        series = profile_set.price(GpuCostModel(), CpuCostModel())
+        assert set(series) == {"cpu_rtree", "gpu_spatiotemporal"}
+        assert all(len(v) == 5 for v in series.values())
+        assert all(t > 0 for v in series.values() for t in v)
+
+    def test_repricing_is_consistent(self, profile_set):
+        """Doubling every GPU constant doubles only the GPU series'
+        compute-dominated points."""
+        base = profile_set.price(GpuCostModel(), CpuCostModel())
+        doubled = profile_set.price(
+            GpuCostModel(cycles_per_comparison=6000.0,
+                         cycles_per_gather=1000.0,
+                         cycles_per_atomic=1200.0),
+            CpuCostModel())
+        assert doubled["cpu_rtree"] == base["cpu_rtree"]
+        assert all(b < d_ for b, d_ in zip(base["gpu_spatiotemporal"],
+                                           doubled["gpu_spatiotemporal"]))
+
+
+class TestSensitivity:
+    def test_full_grid(self, profile_set):
+        rows = sensitivity_analysis(profile_set)
+        expected = 1 + 2 * (len(GPU_PARAMETERS) + len(CPU_PARAMETERS))
+        assert len(rows) == expected
+        assert rows[0].side == "baseline"
+        assert all(isinstance(r, SensitivityRow) for r in rows)
+
+    def test_conclusion_robust_to_halving_and_doubling(self,
+                                                       profile_set):
+        """The headline conclusion — GPUSpatioTemporal overtakes the CPU
+        within the Merger sweep — holds at baseline and under the
+        majority of single-constant 2x perturbations."""
+        rows = sensitivity_analysis(profile_set)
+        # Baseline holds ...
+        assert rows[0].crossover_d is not None
+        # ... and a clear majority of the 13 grid points agree.
+        survived = [r for r in rows if r.crossover_d is not None]
+        assert len(survived) >= 8
+
+    def test_perturbation_directions_are_sane(self, profile_set):
+        """Cheaper GPU => crossover no later; cheaper CPU => no
+        earlier."""
+        rows = {(r.side, r.parameter, r.factor): r
+                for r in sensitivity_analysis(profile_set)}
+        base = rows[("baseline", "-", 1.0)].crossover_d
+        inf = float("inf")
+
+        def c(side, param, f):
+            d = rows[(side, param, f)].crossover_d
+            return inf if d is None else d
+
+        assert c("gpu", "cycles_per_comparison", 0.5) <= (base or inf)
+        assert c("gpu", "cycles_per_comparison", 2.0) >= (base or 0.0)
+        assert c("cpu", "cycles_per_comparison", 2.0) <= (base or inf)
+        assert c("cpu", "cycles_per_comparison", 0.5) >= (base or 0.0)
+
+    def test_describe_renders(self, profile_set):
+        rows = sensitivity_analysis(profile_set)
+        text = rows[0].describe()
+        assert "baseline" in text and "crossover" in text

@@ -1,0 +1,163 @@
+"""Tests for the spatiotemporal (bins + subbins) index, §IV-C."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import SegmentArray
+from repro.indexes.spatiotemporal import SpatioTemporalIndex
+from tests.conftest import make_walk_trajectories
+
+
+@pytest.fixture(scope="module")
+def db():
+    return SegmentArray.from_trajectories(
+        make_walk_trajectories(30, 20, seed=42, start_spread=8.0))
+
+
+@pytest.fixture(scope="module")
+def index(db):
+    return SpatioTemporalIndex.build(db, num_bins=12, num_subbins=3,
+                                     strict=False)
+
+
+class TestBuild:
+    def test_subbin_constraint_enforced(self, db):
+        vmax = SpatioTemporalIndex.max_admissible_subbins(db)
+        with pytest.raises(ValueError, match="constraint"):
+            SpatioTemporalIndex.build(db, 8, vmax + 1)
+        # strict=False allows experimentation beyond the constraint.
+        SpatioTemporalIndex.build(db, 8, vmax + 1, strict=False)
+
+    def test_max_admissible_matches_definition(self, db):
+        mins, maxs = db.spatial_bounds()
+        ext = db.max_spatial_extent()
+        expect = int(np.floor(min((maxs[d] - mins[d]) / ext[d]
+                                  for d in range(3))))
+        assert SpatioTemporalIndex.max_admissible_subbins(db) \
+            == max(1, expect)
+
+    def test_rejects_bad_subbins(self, db):
+        with pytest.raises(ValueError):
+            SpatioTemporalIndex.build(db, 8, 0)
+
+    def test_dim_arrays_cover_all_segments(self, index, db):
+        """Every segment id appears in each dimension array at least
+        once (it overlaps at least the subbin containing it)."""
+        for dim in range(3):
+            counts = np.bincount(index.dim_arrays[dim],
+                                 minlength=len(db))
+            assert counts.min() >= 1
+
+    def test_chunk_layout_is_subbin_major(self, index):
+        """Fig. 3's layout: chunk j holds subbin j of temporal bins
+        0..m-1 contiguously; offsets are monotone."""
+        m, v = index.temporal.num_bins, index.num_subbins
+        for dim in range(3):
+            offs = index.dim_offsets[dim]
+            assert offs.shape == (v * m + 1,)
+            assert offs[0] == 0
+            assert offs[-1] == index.dim_arrays[dim].shape[0]
+            assert np.all(np.diff(offs) >= 0)
+
+    def test_subbin_entries_actually_overlap(self, index):
+        """Soundness: an id listed in subbin (j, i) for dim x really
+        overlaps that subbin's x-range and belongs to temporal bin i."""
+        seg = index.segments
+        row_bins = index.temporal.bin_of_rows()
+        m, v = index.temporal.num_bins, index.num_subbins
+        lo3 = np.minimum(seg.starts, seg.ends)
+        hi3 = np.maximum(seg.starts, seg.ends)
+        for dim in range(3):
+            w = index.subbin_width[dim]
+            base = index.space_min[dim]
+            for j in range(v):
+                for i in range(0, m, 5):
+                    rows = index.subbin_entries(dim, j, i)
+                    if rows.size == 0:
+                        continue
+                    np.testing.assert_array_equal(row_bins[rows], i)
+                    sb_lo, sb_hi = base + j * w, base + (j + 1) * w
+                    assert np.all(lo3[rows, dim] <= sb_hi + 1e-9)
+                    assert np.all(hi3[rows, dim] >= sb_lo - 1e-9)
+
+    def test_extra_memory_is_the_xyz_arrays(self, index):
+        """GPUSpatioTemporal's footprint = temporal index + >= 3|D| ids
+        (§IV-C.1)."""
+        extra = index.nbytes() - index.temporal.nbytes()
+        assert extra >= 3 * len(index.segments) * 4
+
+
+class TestSchedule:
+    def test_schedule_covers_all_queries(self, index, db, small_queries):
+        sched = index.make_schedule(small_queries.sorted_by_start_time(),
+                                    1.0)
+        assert len(sched) == len(small_queries)
+        assert set(sched.q_rows.tolist()) \
+            == set(range(len(small_queries)))
+
+    def test_schedule_sorted_by_array_selector(self, index,
+                                               small_queries):
+        sched = index.make_schedule(small_queries.sorted_by_start_time(),
+                                    1.0)
+        assert np.all(np.diff(sched.array_sel) >= 0)
+
+    def test_schedule_completeness(self, index, small_queries):
+        """For a subbin-scheduled query, the candidate range contains
+        every entry row within d — the engine's exactness rests on this."""
+        d = 1.5
+        q = small_queries.sorted_by_start_time()
+        sched = index.make_schedule(q, d)
+        seg = index.segments
+        from repro.core.bruteforce import brute_force_search
+        truth = brute_force_search(q, seg, d)
+        true_pairs = truth.pairs()
+        seg_row_of_id = {int(s): r for r, s in enumerate(seg.seg_ids)}
+        q_row_of_id = {int(s): r for r, s in enumerate(q.seg_ids)}
+        # Map: schedule slot per query row.
+        slot_of_row = {int(r): k for k, r in enumerate(sched.q_rows)}
+        for (qid, eid) in true_pairs:
+            k = slot_of_row[q_row_of_id[qid]]
+            sel = sched.array_sel[k]
+            lo, hi = sched.ent_min[k], sched.ent_max[k]
+            erow = seg_row_of_id[eid]
+            if sel == -1:
+                assert lo <= erow <= hi
+            else:
+                rows = index.dim_arrays[sel][lo:hi + 1]
+                assert erow in rows
+
+    def test_no_duplicates_in_subbin_range(self, index, small_queries):
+        """The chosen contiguous range never lists an entry twice — the
+        duplicate-avoidance guarantee that justifies defaulting."""
+        sched = index.make_schedule(
+            small_queries.sorted_by_start_time(), 1.0)
+        for k in range(len(sched)):
+            sel = sched.array_sel[k]
+            if sel < 0:
+                continue
+            rows = index.dim_arrays[sel][sched.ent_min[k]:
+                                         sched.ent_max[k] + 1]
+            assert rows.size == np.unique(rows).size
+
+    def test_defaulting_increases_with_d(self, index, small_queries):
+        q = small_queries.sorted_by_start_time()
+        defaults = [index.make_schedule(q, d).num_defaulted
+                    for d in (0.1, 3.0, 10.0)]
+        assert defaults[0] <= defaults[-1]
+
+    def test_spatially_disjoint_query_has_empty_range(self, index):
+        from tests.conftest import make_walk_trajectories
+        far = SegmentArray.from_trajectories(
+            [t for t in make_walk_trajectories(1, 3, box=5.0, seed=1)])
+        # Shift far outside the database bounds.
+        shifted = SegmentArray(
+            far.xs + 1e6, far.ys, far.zs, far.ts,
+            far.xe + 1e6, far.ye, far.ze, far.te, far.traj_ids)
+        sched = index.make_schedule(shifted, 1.0)
+        assert np.all(sched.ent_min > sched.ent_max)
+        assert sched.num_defaulted == 0
+
+    def test_schedule_nbytes_fixed_encoding(self, index, small_queries):
+        sched = index.make_schedule(
+            small_queries.sorted_by_start_time(), 1.0)
+        assert sched.nbytes == 16 * len(sched)  # 4 ints per query (§IV-C)

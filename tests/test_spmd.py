@@ -1,0 +1,109 @@
+"""Tests for the communicator abstraction and SPMD search driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_force_search
+from repro.distributed import partition_database
+from repro.distributed.comm import (Communicator, LoopbackComm,
+                                    Mpi4pyComm, world)
+from repro.distributed.driver import SpmdSearchDriver, run_spmd_search
+from repro.engines import GpuTemporalEngine
+
+
+class TestLoopbackComm:
+    def test_world_construction(self):
+        comms = LoopbackComm.make_world(3)
+        assert [c.rank for c in comms] == [0, 1, 2]
+        assert all(c.size == 3 for c in comms)
+        assert all(isinstance(c, Communicator) for c in comms)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            LoopbackComm(rank=2, size=2)
+
+    def test_bcast(self):
+        comms = LoopbackComm.make_world(3)
+        assert comms[0].bcast({"x": 1}) == {"x": 1}
+        assert comms[1].bcast(None) == {"x": 1}
+        assert comms[2].bcast(None) == {"x": 1}
+
+    def test_bcast_before_seed_raises(self):
+        comms = LoopbackComm.make_world(2)
+        with pytest.raises(RuntimeError, match="before the root"):
+            comms[1].bcast(None)
+
+    def test_gather(self):
+        comms = LoopbackComm.make_world(3)
+        assert comms[1].gather("b") is None
+        assert comms[2].gather("c") is None
+        assert comms[0].gather("a") == ["a", "b", "c"]
+
+    def test_gather_incomplete_raises(self):
+        comms = LoopbackComm.make_world(2)
+        with pytest.raises(RuntimeError, match="before all ranks"):
+            comms[0].gather("a")
+
+    def test_world_falls_back_to_loopback(self):
+        w = world()  # no mpi4py in this environment
+        assert w.size == 1 and w.rank == 0
+
+
+class TestMpi4pyComm:
+    def test_duck_typed_comm(self):
+        """The adapter works with anything exposing the mpi4py surface."""
+
+        class FakeMpi:
+            def Get_rank(self):
+                return 3
+
+            def Get_size(self):
+                return 8
+
+            def bcast(self, obj, root=0):
+                return ("bcast", obj, root)
+
+            def gather(self, obj, root=0):
+                return [obj]
+
+        comm = Mpi4pyComm(FakeMpi())
+        assert comm.rank == 3 and comm.size == 8
+        assert comm.bcast("x", root=2) == ("bcast", "x", 2)
+        assert comm.gather("y") == ["y"]
+
+
+class TestSpmdDriver:
+    def test_matches_single_node(self, db_queries_truth):
+        db, queries, d, truth = db_queries_truth
+        shards = partition_database(db, 3, "round_robin")
+        comms = LoopbackComm.make_world(3)
+        engines = [GpuTemporalEngine(s, num_bins=20) for s in shards]
+        merged = run_spmd_search(comms, engines, queries, d)
+        assert merged.equivalent_to(truth)
+
+    def test_single_rank_world(self, db_queries_truth):
+        db, queries, d, truth = db_queries_truth
+        driver = SpmdSearchDriver(LoopbackComm(),
+                                  GpuTemporalEngine(db, num_bins=20))
+        out = driver.search(queries, d)
+        assert out is not None and out.equivalent_to(truth)
+
+    def test_root_requires_queries(self):
+        driver = SpmdSearchDriver(LoopbackComm(), engine=None)
+        with pytest.raises(ValueError, match="root rank"):
+            driver.search(None, 1.0)
+
+    def test_exclude_same_trajectory(self, small_db):
+        shards = partition_database(small_db, 2)
+        comms = LoopbackComm.make_world(2)
+        engines = [GpuTemporalEngine(s, num_bins=20) for s in shards]
+        merged = run_spmd_search(comms, engines, small_db, 0.5,
+                                 exclude_same_trajectory=True)
+        truth = brute_force_search(small_db, small_db, 0.5,
+                                   exclude_same_trajectory=True)
+        assert merged.equivalent_to(truth)
+
+    def test_mismatched_world_rejected(self, small_db):
+        comms = LoopbackComm.make_world(2)
+        with pytest.raises(ValueError, match="one engine per rank"):
+            run_spmd_search(comms, [None], small_db, 1.0)

@@ -1,0 +1,144 @@
+"""Tests for the temporal-bin index (GPUTemporal's index, §IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import SegmentArray
+from repro.indexes.temporal import TemporalIndex
+from tests.conftest import make_walk_trajectories
+
+
+@pytest.fixture(scope="module")
+def index():
+    db = SegmentArray.from_trajectories(
+        make_walk_trajectories(30, 20, seed=42, start_spread=8.0))
+    return TemporalIndex.build(db, 16)
+
+
+class TestBuild:
+    def test_rejects_bad_inputs(self, small_db):
+        with pytest.raises(ValueError):
+            TemporalIndex.build(small_db, 0)
+        with pytest.raises(ValueError):
+            TemporalIndex.build(SegmentArray.empty(), 4)
+
+    def test_segments_sorted_by_start(self, index):
+        assert np.all(np.diff(index.segments.ts) >= 0)
+
+    def test_bin_assignment(self, index):
+        """Entry i is in bin floor((ts - tmin)/b) — §IV-B.1."""
+        seg = index.segments
+        bins = index.bin_of_rows()
+        expect = np.clip(np.floor((seg.ts - index.t_min)
+                                  / index.bin_width), 0,
+                         index.num_bins - 1)
+        np.testing.assert_array_equal(bins, expect.astype(np.int64))
+
+    def test_bins_are_contiguous_row_ranges(self, index):
+        """[B_first, B_last] index ranges tile the sorted database."""
+        rows_seen = []
+        for j in range(index.num_bins):
+            f, l = index.bin_first[j], index.bin_last[j]
+            if l >= 0:
+                rows_seen.append(np.arange(f, l + 1))
+        rows = np.concatenate(rows_seen)
+        np.testing.assert_array_equal(rows,
+                                      np.arange(len(index.segments)))
+
+    def test_bin_extents_cover_member_segments(self, index):
+        """B_end >= max t_end of the bin's segments (spill-over, and
+        B_end >= nominal right edge)."""
+        seg = index.segments
+        bins = index.bin_of_rows()
+        for j in range(index.num_bins):
+            members = bins == j
+            nominal = index.bin_start[j] + index.bin_width
+            assert index.bin_end[j] >= nominal - 1e-12
+            if np.any(members):
+                assert index.bin_end[j] >= seg.te[members].max() - 1e-12
+
+    def test_empty_bin_sentinels(self):
+        # A dataset with a big temporal gap produces empty bins.
+        import numpy as np
+        from repro.core.types import Trajectory
+        t1 = Trajectory(0, np.array([0.0, 1.0]), np.zeros((2, 3)))
+        t2 = Trajectory(1, np.array([99.0, 100.0]), np.zeros((2, 3)))
+        idx = TemporalIndex.build(
+            SegmentArray.from_trajectories([t1, t2]), 50)
+        empties = np.flatnonzero(idx.bin_last == -1)
+        assert empties.size > 0
+        assert np.all(idx.bin_first[empties] == len(idx.segments))
+
+
+class TestQuery:
+    def test_candidate_rows_complete(self, index):
+        """E_k contains every row that temporally overlaps the query —
+        the index may over-approximate but never miss (completeness is
+        what makes the search exact after refinement)."""
+        seg = index.segments
+        rng = np.random.default_rng(3)
+        qs = rng.uniform(index.t_min - 2, seg.te.max() + 2, 64)
+        qe = qs + rng.uniform(0, 5, 64)
+        lo, hi = index.candidate_rows(qs, qe)
+        for k in range(64):
+            overlapping = np.flatnonzero((seg.ts <= qe[k])
+                                         & (seg.te >= qs[k]))
+            if overlapping.size:
+                assert lo[k] <= overlapping.min()
+                assert hi[k] >= overlapping.max()
+
+    def test_contiguity(self, index):
+        """E_k is a single contiguous range (lo <= hi or empty)."""
+        qs = np.linspace(index.t_min, index.segments.te.max(), 40)
+        lo, hi = index.candidate_rows(qs, qs + 1.0)
+        assert np.all((lo <= hi) | (hi == -1))
+
+    def test_query_outside_extent(self, index):
+        t_max = index.segments.te.max()
+        lo, hi = index.candidate_rows(np.array([t_max + 100.0]),
+                                      np.array([t_max + 101.0]))
+        assert lo[0] > hi[0]
+        lo, hi = index.candidate_rows(np.array([index.t_min - 100.0]),
+                                      np.array([index.t_min - 99.0]))
+        assert lo[0] > hi[0]
+
+    def test_query_covering_everything(self, index):
+        lo, hi = index.candidate_rows(np.array([-1e9]), np.array([1e9]))
+        assert lo[0] == 0
+        assert hi[0] == len(index.segments) - 1
+
+    def test_more_bins_tighter_or_equal(self):
+        """Selectivity improves (weakly) with bin count — the mechanism
+        behind the §V-C bin sweep."""
+        db = SegmentArray.from_trajectories(
+            make_walk_trajectories(20, 15, seed=8, start_spread=10.0))
+        q_start = np.array([5.0])
+        q_end = np.array([6.0])
+        widths = []
+        for m in (2, 8, 32, 128):
+            idx = TemporalIndex.build(db, m)
+            lo, hi = idx.candidate_rows(q_start, q_end)
+            widths.append(int(hi[0] - lo[0] + 1))
+        assert widths == sorted(widths, reverse=True)
+
+    def test_nbytes(self, index):
+        assert index.nbytes() == 4 * 8 * index.num_bins
+
+
+@given(num_bins=st.integers(1, 200), seed=st.integers(0, 20))
+@settings(max_examples=30, deadline=None)
+def test_completeness_property(num_bins, seed):
+    """Index completeness holds for arbitrary bin counts and datasets."""
+    db = SegmentArray.from_trajectories(
+        make_walk_trajectories(6, 5, seed=seed, start_spread=12.0))
+    idx = TemporalIndex.build(db, num_bins)
+    seg = idx.segments
+    rng = np.random.default_rng(seed)
+    qs = rng.uniform(-1, 20, 8)
+    qe = qs + rng.uniform(0, 8, 8)
+    lo, hi = idx.candidate_rows(qs, qe)
+    for k in range(8):
+        overlapping = np.flatnonzero((seg.ts <= qe[k]) & (seg.te >= qs[k]))
+        if overlapping.size:
+            assert lo[k] <= overlapping.min() <= overlapping.max() <= hi[k]

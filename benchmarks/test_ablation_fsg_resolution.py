@@ -7,9 +7,8 @@ sweet spot on Random; response time rises rapidly with d at any
 resolution.
 """
 
-import pytest
 
-from repro.experiments import records_to_series, series_table
+from repro.experiments import series_table
 
 from .conftest import emit
 

@@ -7,7 +7,6 @@ with v = 1 subbin — a 12.4 % increase attributable purely to reading the
 entry id through the X/Y/Z array before loading the segment.
 """
 
-import pytest
 
 from .conftest import emit
 

@@ -7,7 +7,6 @@ most kernel invocations), because the query set is processed in fewer
 incremental rounds.
 """
 
-import pytest
 
 from .conftest import emit
 

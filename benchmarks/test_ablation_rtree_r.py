@@ -10,7 +10,6 @@ boxes (see EXPERIMENTS.md for why the 3-D variant models the paper's
 baseline on Random-dense).
 """
 
-import pytest
 
 from repro.engines.cpu_rtree import CpuRTreeEngine
 from repro.gpu.costmodel import CpuCostModel

@@ -7,7 +7,6 @@ sweep) survives — evidence the reproduction's conclusions are not
 calibration artifacts.
 """
 
-import pytest
 
 from repro.experiments.sensitivity import (collect_profiles,
                                            sensitivity_analysis)

@@ -6,7 +6,6 @@ to the temporal scheme, so fewer subbins win; on the dense dataset the
 default rate is high even for small v (40 % at v=2, d=0.03 in the paper).
 """
 
-import pytest
 
 from repro.experiments import series_table
 

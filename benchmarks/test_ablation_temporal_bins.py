@@ -6,7 +6,6 @@ selectivity gain past ~10,000 bins on Random, ~1,000 on Merger);
 independent of d throughout.
 """
 
-import pytest
 
 from repro.experiments import series_table
 

@@ -8,10 +8,9 @@ Three studies of features the paper motivates but does not evaluate:
 """
 
 import numpy as np
-import pytest
 
 from repro.distributed import GpuCluster
-from repro.engines import CpuRTreeEngine, HybridEngine
+from repro.engines import HybridEngine
 from repro.engines.gpu_temporal import GpuTemporalEngine
 from repro.gpu.costmodel import CpuCostModel, GpuCostModel
 

@@ -6,7 +6,6 @@ sparse datasets, the GPU leads to significant improvements for large
 and/or dense datasets unless query distances are small."
 """
 
-import pytest
 
 from .conftest import emit
 

@@ -1,0 +1,99 @@
+"""Serving-layer throughput: warm engine cache vs per-batch rebuilds.
+
+The headline claim of the batched query service (ISSUE: api_redesign):
+for a workload of repeated batches against one database, a warm
+:class:`~repro.service.QueryService` amortizes the index build across
+the whole workload, while the naive loop pays it once per batch.  The
+benchmark asserts a >=5x reduction in combined modeled + wall time for
+an 8-batch workload, and that exactly one cache miss (the first batch)
+occurred.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from .conftest import emit
+
+from repro.core.search import DistanceThresholdSearch
+from repro.data import random_dataset
+from repro.service import QueryService, SearchRequest
+
+NUM_BATCHES = 8
+METHOD = "gpu_spatiotemporal"
+# A fine-grained index makes the build the dominant per-request cost —
+# exactly the regime the engine cache targets (online queries against a
+# periodically rebuilt offline index, paper §V-B).
+PARAMS = {"num_bins": 400, "num_subbins": 8}
+D = 1.0
+SEGMENTS_PER_BATCH = 10
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = random_dataset(scale=0.1, rng=np.random.default_rng(7))
+    rng = np.random.default_rng(123)
+    batches = []
+    for _ in range(NUM_BATCHES):
+        tid = rng.choice(np.unique(db.traj_ids))
+        rows = np.flatnonzero(db.traj_ids == tid)[:SEGMENTS_PER_BATCH]
+        batches.append(db.take(rows))
+    return db, batches
+
+
+def test_warm_cache_beats_per_batch_construction(workload):
+    db, batches = workload
+
+    # Cold path: the pre-service idiom — build a fresh engine per batch.
+    t0 = time.perf_counter()
+    cold_modeled = 0.0
+    cold_outcomes = []
+    for queries in batches:
+        search = DistanceThresholdSearch(db, method=METHOD, **PARAMS)
+        outcome = search.run(queries, D)
+        cold_modeled += outcome.modeled_seconds
+        cold_outcomes.append(outcome)
+    cold_wall = time.perf_counter() - t0
+
+    # Warm path: one service, engine built once, then cache hits.
+    service = QueryService(db, num_devices=1)
+    t0 = time.perf_counter()
+    responses = service.submit_batch([
+        SearchRequest(queries=q, d=D, method=METHOD, params=PARAMS,
+                      request_id=f"batch-{i}")
+        for i, q in enumerate(batches)])
+    warm_wall = time.perf_counter() - t0
+    warm_modeled = sum(r.metrics.modeled_seconds for r in responses)
+
+    # Same answers either way.
+    for outcome, resp in zip(cold_outcomes, responses):
+        assert resp.outcome.results.equivalent_to(outcome.results)
+
+    # Exactly one miss (the first batch builds), all later batches hit.
+    stats = service.stats()
+    assert stats["cache"]["misses"] == 1
+    assert stats["cache"]["hits"] == NUM_BATCHES - 1
+    assert not responses[0].metrics.cache_hit
+    assert all(r.metrics.cache_hit for r in responses[1:])
+
+    cold_total = cold_wall + cold_modeled
+    warm_total = warm_wall + warm_modeled
+    speedup = cold_total / warm_total
+
+    emit("service_throughput", "\n".join([
+        f"Serving-layer throughput — {NUM_BATCHES} batches, "
+        f"method={METHOD}",
+        f"{'path':<12} {'wall (s)':>10} {'modeled (s)':>12} "
+        f"{'total (s)':>10}",
+        f"{'cold':<12} {cold_wall:>10.4f} {cold_modeled:>12.4f} "
+        f"{cold_total:>10.4f}",
+        f"{'warm':<12} {warm_wall:>10.4f} {warm_modeled:>12.4f} "
+        f"{warm_total:>10.4f}",
+        f"speedup: {speedup:.1f}x   cache: "
+        f"{stats['cache']['hits']} hits / "
+        f"{stats['cache']['misses']} miss",
+    ]))
+
+    assert speedup >= 5.0, (
+        f"warm service only {speedup:.1f}x faster "
+        f"(cold {cold_total:.3f}s vs warm {warm_total:.3f}s)")

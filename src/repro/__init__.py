@@ -18,23 +18,25 @@ paper-vs-measured record.
 
 from .core import (DistanceThresholdSearch, ENGINE_REGISTRY, ResultSet,
                    SearchOutcome, SegmentArray, Trajectory,
-                   brute_force_search)
+                   brute_force_search, register_engine)
 from .data import (merger_dataset, queries_from_database, random_dataset,
                    random_dense_dataset)
-from .engines import (CpuRTreeEngine, GpuSpatialEngine,
+from .engines import (ConfigError, CpuRTreeEngine, GpuSpatialEngine,
                       GpuSpatioTemporalEngine, GpuTemporalEngine,
                       HybridEngine)
 from .gpu import (CpuCostModel, GpuCostModel, TESLA_C2075, VirtualGPU,
                   XEON_W3690)
+from .service import QueryService, SearchRequest, SearchResponse
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "CpuCostModel", "CpuRTreeEngine", "DistanceThresholdSearch",
-    "ENGINE_REGISTRY", "GpuCostModel", "GpuSpatialEngine",
-    "GpuSpatioTemporalEngine", "GpuTemporalEngine", "HybridEngine",
-    "ResultSet", "SearchOutcome", "SegmentArray", "TESLA_C2075",
+    "ConfigError", "CpuCostModel", "CpuRTreeEngine",
+    "DistanceThresholdSearch", "ENGINE_REGISTRY", "GpuCostModel",
+    "GpuSpatialEngine", "GpuSpatioTemporalEngine", "GpuTemporalEngine",
+    "HybridEngine", "QueryService", "ResultSet", "SearchOutcome",
+    "SearchRequest", "SearchResponse", "SegmentArray", "TESLA_C2075",
     "Trajectory", "VirtualGPU", "XEON_W3690", "brute_force_search",
     "merger_dataset", "queries_from_database", "random_dataset",
-    "random_dense_dataset", "__version__",
+    "random_dense_dataset", "register_engine", "__version__",
 ]

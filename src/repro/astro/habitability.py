@@ -18,7 +18,7 @@ exposure episodes, and cumulative time spent inside the hazard radius.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -6,6 +6,8 @@ generate   build one of the paper's datasets and save it as .npz
 info       summarize a saved dataset (sizes, extents, densities)
 search     run a distance-threshold search (--verify for an independent
            result check, --trace for a chrome://tracing timeline)
+batch      serve repeated query batches through the query service
+           (engine cache + planner-driven 'auto' method)
 knn        run the kNN extension over a saved dataset
 plan       rank the engines for a workload without running a search
 stats      index-statistics report for a dataset
@@ -19,6 +21,8 @@ python -m repro generate merger --scale 0.01 --out merger.npz
 python -m repro info merger.npz
 python -m repro search merger.npz --d 1.5 --method gpu_spatiotemporal \\
     --num-bins 1000 --num-subbins 8 --query-trajectories 8
+python -m repro batch merger.npz --d 1.5 --batches 8 --method auto \\
+    --num-devices 2 --out responses.json
 python -m repro figures fig5 --scale 0.01
 """
 
@@ -67,6 +71,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write a chrome://tracing JSON of the modeled "
                         "timeline (GPU engines only)")
+
+    p = sub.add_parser(
+        "batch", help="serve repeated query batches through the "
+                      "query service")
+    p.add_argument("database", help=".npz produced by 'generate'")
+    p.add_argument("--d", type=float, default=None,
+                   help="query distance threshold (required unless "
+                        "--requests supplies per-request values)")
+    p.add_argument("--batches", type=int, default=8,
+                   help="number of query batches to synthesize "
+                        "(default 8); ignored with --requests")
+    p.add_argument("--requests", default=None, metavar="PATH",
+                   help="JSON file with a list of SearchRequest dicts "
+                        "(overrides batch synthesis)")
+    p.add_argument("--method", default="auto",
+                   choices=sorted(ENGINE_REGISTRY) + ["auto"],
+                   help="engine, or 'auto' for planner-driven selection")
+    p.add_argument("--num-devices", type=int, default=1,
+                   help="size of the simulated GPU pool")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the database across this many "
+                        "concurrent shards per request")
+    p.add_argument("--query-trajectories", type=int, default=4,
+                   help="trajectories sampled per synthesized batch")
+    p.add_argument("--num-bins", type=int, default=1000)
+    p.add_argument("--num-subbins", type=int, default=4)
+    p.add_argument("--cells-per-dim", type=int, default=50)
+    p.add_argument("--segments-per-mbb", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write all responses as JSON")
 
     p = sub.add_parser("knn", help="run the kNN extension")
     _add_search_args(p)
@@ -213,6 +248,75 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import QueryService, SearchRequest
+
+    database = load_segments(args.database)
+    if args.requests:
+        with open(args.requests) as fh:
+            requests = [SearchRequest.from_dict(p) for p in json.load(fh)]
+    else:
+        if args.d is None:
+            print("repro batch: error: --d is required when "
+                  "synthesizing batches (no --requests)", file=sys.stderr)
+            return 2
+        # Repeated batches over the same database: the workload the
+        # engine cache exists for.
+        params = {} if args.method == "auto" else _batch_params(args)
+        requests = []
+        for i in range(args.batches):
+            queries = queries_from_database(
+                database, args.query_trajectories,
+                rng=np.random.default_rng(args.seed + i))
+            requests.append(SearchRequest(
+                queries=queries, d=args.d, method=args.method,
+                params=params, shards=args.shards,
+                request_id=f"batch-{i}"))
+
+    service = QueryService(database, num_devices=args.num_devices)
+    responses = [service.submit(req) for req in requests]
+    for resp in responses:
+        m = resp.metrics
+        flags = []
+        if m.cache_hit:
+            flags.append("cache-hit")
+        if m.degraded:
+            flags.append(f"degraded({m.degradation_reason.split(':')[0]})")
+        print(f"{resp.request_id or '-':>10s}  {m.engine:18s} "
+              f"{len(resp.outcome.results):6d} results  "
+              f"modeled {m.modeled_seconds:.6f} s  "
+              f"wait {m.queue_wait_s:.6f} s"
+              f"{'  [' + ', '.join(flags) + ']' if flags else ''}")
+    stats = service.stats()
+    cache = stats["cache"]
+    print(f"served {stats['num_requests']} batches on "
+          f"{stats['num_devices']} device(s): cache {cache['hits']} "
+          f"hits / {cache['misses']} misses / {cache['evictions']} "
+          f"evictions, {stats['degradations']} degradations, "
+          f"modeled makespan {stats['clock_s']:.6f} s")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump([r.to_dict() for r in responses], fh)
+        print(f"responses written to {args.out}")
+    return 0
+
+
+def _batch_params(args: argparse.Namespace) -> dict:
+    if args.method == "gpu_temporal":
+        return {"num_bins": args.num_bins}
+    if args.method == "gpu_spatiotemporal":
+        return {"num_bins": args.num_bins,
+                "num_subbins": args.num_subbins,
+                "strict_subbins": False}
+    if args.method == "gpu_spatial":
+        return {"cells_per_dim": args.cells_per_dim}
+    if args.method == "cpu_rtree":
+        return {"segments_per_mbb": args.segments_per_mbb}
+    return {}
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     from .core.planner import plan_search
     database, queries = _load_workload(args)
@@ -316,6 +420,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "info": cmd_info,
         "search": cmd_search,
+        "batch": cmd_batch,
         "knn": cmd_knn,
         "plan": cmd_plan,
         "stats": cmd_stats,

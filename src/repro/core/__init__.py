@@ -8,7 +8,8 @@ from .geometry import MBB, expand, mbb_min_distance, overlaps, segment_mbbs
 from .knn import KnnResult, TrajectoryKnn, knn_brute_force
 from .planner import PlanEstimate, WorkloadStats, plan_search
 from .result import ResultSet, merge_intervals
-from .search import DistanceThresholdSearch, ENGINE_REGISTRY, SearchOutcome
+from .search import (DistanceThresholdSearch, ENGINE_REGISTRY,
+                     SearchOutcome, register_engine)
 from .types import SegmentArray, Trajectory, concatenate
 from .verify import VerificationReport, verify_results
 
@@ -20,5 +21,5 @@ __all__ = [
     "compare_pairs", "concatenate", "expand", "interaction_groups",
     "knn_brute_force", "mbb_min_distance", "merge_intervals",
     "most_exposed", "overlaps", "plan_search", "proximity_graph",
-    "segment_mbbs", "verify_results",
+    "register_engine", "segment_mbbs", "verify_results",
 ]

@@ -14,7 +14,6 @@ library on top of the search results.
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
 
 from .result import ResultSet, merge_intervals
 from .types import SegmentArray

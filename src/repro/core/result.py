@@ -92,6 +92,27 @@ class ResultSet:
                 and np.allclose(a.t_lo, b.t_lo, atol=atol)
                 and np.allclose(a.t_hi, b.t_hi, atol=atol))
 
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (plain lists)."""
+        return {
+            "q_ids": self.q_ids.tolist(),
+            "e_ids": self.e_ids.tolist(),
+            "t_lo": self.t_lo.tolist(),
+            "t_hi": self.t_hi.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResultSet":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            np.asarray(payload["q_ids"], dtype=np.int64),
+            np.asarray(payload["e_ids"], dtype=np.int64),
+            np.asarray(payload["t_lo"], dtype=np.float64),
+            np.asarray(payload["t_hi"], dtype=np.float64),
+        )
+
     # -- application-level views ---------------------------------------------
 
     def pairs(self) -> set[tuple[int, int]]:

@@ -12,38 +12,117 @@ Typical use::
     outcome.modeled_seconds  # response time under the machine model
     outcome.profile          # raw operation counts
 
+Engine parameters are validated against the typed per-engine configs in
+:mod:`repro.engines.config`; a misspelled knob raises
+:class:`~repro.engines.config.ConfigError` naming the engine and the
+nearest valid key, instead of dying somewhere inside the constructor.
+Alternatively pass a config object directly::
+
+    from repro.engines.config import GpuSpatioTemporalConfig
+    search = DistanceThresholdSearch(
+        db, method="gpu_spatiotemporal",
+        config=GpuSpatioTemporalConfig(num_bins=1000, num_subbins=4))
+
 Engines are constructed lazily but cached: the index build is the offline
 phase (excluded from response time, §V-B) and is reused across ``run``
 calls, exactly like a database that is indexed once and queried many
 times.
+
+Third-party engines register through the :func:`register_engine`
+decorator::
+
+    @register_engine("my_engine")
+    class MyEngine(SearchEngine):
+        ...
+
+Direct ``ENGINE_REGISTRY[name] = cls`` mutation still works but emits a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Any
 
 from ..engines.base import SearchEngine
+from ..engines.config import EngineConfig
 from ..engines.cpu_rtree import CpuRTreeEngine
 from ..engines.cpu_scan import CpuScanEngine
 from ..engines.gpu_spatial import GpuSpatialEngine
 from ..engines.gpu_spatiotemporal import GpuSpatioTemporalEngine
 from ..engines.gpu_temporal import GpuTemporalEngine
 from ..gpu.costmodel import CostBreakdown, CpuCostModel, GpuCostModel
+from ..gpu.device import VirtualGPU
 from ..gpu.profiler import CpuSearchProfile, SearchProfile
 from .result import ResultSet
 from .types import SegmentArray
 
-__all__ = ["DistanceThresholdSearch", "SearchOutcome", "ENGINE_REGISTRY"]
+__all__ = ["DistanceThresholdSearch", "SearchOutcome", "ENGINE_REGISTRY",
+           "register_engine"]
 
-#: method name -> engine class; extended by registering new engines.
-ENGINE_REGISTRY: dict[str, type[SearchEngine]] = {
-    "gpu_spatial": GpuSpatialEngine,
-    "gpu_temporal": GpuTemporalEngine,
-    "gpu_spatiotemporal": GpuSpatioTemporalEngine,
-    "cpu_rtree": CpuRTreeEngine,
-    "cpu_scan": CpuScanEngine,
-}
+
+class _EngineRegistry(dict):
+    """``{method name: engine class}`` with a deprecation gate.
+
+    The supported way to add an engine is the :func:`register_engine`
+    decorator; writing to the dict directly still works (existing code
+    keeps running) but warns.
+    """
+
+    def __setitem__(self, key: str, value: type[SearchEngine]) -> None:
+        warnings.warn(
+            "direct ENGINE_REGISTRY mutation is deprecated; use the "
+            "@register_engine(name) decorator instead",
+            DeprecationWarning, stacklevel=2)
+        self._register(key, value)
+
+    def __delitem__(self, key: str) -> None:
+        warnings.warn(
+            "direct ENGINE_REGISTRY mutation is deprecated; use the "
+            "@register_engine(name) decorator instead",
+            DeprecationWarning, stacklevel=2)
+        dict.__delitem__(self, key)
+
+    def _register(self, key: str, value: type[SearchEngine]) -> None:
+        dict.__setitem__(self, key, value)
+
+
+#: method name -> engine class; extend via :func:`register_engine`.
+ENGINE_REGISTRY: _EngineRegistry = _EngineRegistry()
+
+
+def register_engine(name: str):
+    """Class decorator registering a :class:`SearchEngine` under ``name``.
+
+    The supported extension point for custom engines::
+
+        @register_engine("my_engine")
+        class MyEngine(SearchEngine):
+            name = "my_engine"
+            def search(self, queries, d, *, exclude_same_trajectory=False):
+                ...
+
+    Returns the class unchanged, so it stacks with other decorators.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError("engine name must be a non-empty string")
+
+    def decorator(cls: type[SearchEngine]) -> type[SearchEngine]:
+        if not (isinstance(cls, type) and issubclass(cls, SearchEngine)):
+            raise TypeError(
+                f"@register_engine({name!r}) expects a SearchEngine "
+                f"subclass, got {cls!r}")
+        ENGINE_REGISTRY._register(name, cls)
+        return cls
+
+    return decorator
+
+
+register_engine("gpu_spatial")(GpuSpatialEngine)
+register_engine("gpu_temporal")(GpuTemporalEngine)
+register_engine("gpu_spatiotemporal")(GpuSpatioTemporalEngine)
+register_engine("cpu_rtree")(CpuRTreeEngine)
+register_engine("cpu_scan")(CpuScanEngine)
 
 
 @dataclass(frozen=True)
@@ -58,6 +137,29 @@ class SearchOutcome:
     def modeled_seconds(self) -> float:
         return self.modeled.total
 
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (service responses and
+        ``results/`` artifacts share this serialization)."""
+        return {
+            "results": self.results.to_dict(),
+            "profile": self.profile.to_dict(),
+            "modeled": self.modeled.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchOutcome":
+        """Inverse of :meth:`to_dict`."""
+        prof = payload["profile"]
+        profile_cls = (CpuSearchProfile if prof.get("kind") == "cpu"
+                       else SearchProfile)
+        return cls(
+            results=ResultSet.from_dict(payload["results"]),
+            profile=profile_cls.from_dict(prof),
+            modeled=CostBreakdown.from_dict(payload["modeled"]),
+        )
+
 
 class DistanceThresholdSearch:
     """Distance-threshold similarity search over a trajectory database.
@@ -67,23 +169,33 @@ class DistanceThresholdSearch:
     database:
         The entry-segment database ``D``.
     method:
-        One of ``ENGINE_REGISTRY``:``"gpu_spatial"``, ``"gpu_temporal"``,
-        ``"gpu_spatiotemporal"`` (default — the paper's best overall), or
-        ``"cpu_rtree"``.
+        One of ``ENGINE_REGISTRY``: ``"gpu_spatial"``, ``"gpu_temporal"``,
+        ``"gpu_spatiotemporal"`` (default — the paper's best overall),
+        ``"cpu_rtree"`` or ``"cpu_scan"``.
+    config:
+        A typed engine config (see :mod:`repro.engines.config`); mutually
+        exclusive with ``**engine_params``.
+    gpu:
+        Place a GPU engine on a specific :class:`VirtualGPU` (the query
+        service uses this to pin engines to pool devices).
     gpu_model, cpu_model:
         Cost models used to convert profiles to modeled seconds; defaults
         model the paper's Tesla C2075 and Xeon W3690.
     **engine_params:
-        Forwarded to the engine constructor (e.g. ``num_bins``,
-        ``num_subbins``, ``cells_per_dim``, ``segments_per_mbb``,
-        ``result_buffer_items``).
+        Engine tuning knobs (e.g. ``num_bins``, ``num_subbins``,
+        ``cells_per_dim``, ``segments_per_mbb``,
+        ``result_buffer_items``), validated against the engine's typed
+        config; unknown keys raise
+        :class:`~repro.engines.config.ConfigError`.
     """
 
     def __init__(self, database: SegmentArray, *,
                  method: str = "gpu_spatiotemporal",
+                 config: EngineConfig | None = None,
+                 gpu: VirtualGPU | None = None,
                  gpu_model: GpuCostModel | None = None,
                  cpu_model: CpuCostModel | None = None,
-                 **engine_params: Any) -> None:
+                 **engine_params) -> None:
         if method not in ENGINE_REGISTRY:
             raise ValueError(
                 f"unknown method {method!r}; available: "
@@ -92,8 +204,8 @@ class DistanceThresholdSearch:
         self.database = database
         self.gpu_model = gpu_model or GpuCostModel()
         self.cpu_model = cpu_model or CpuCostModel()
-        self.engine: SearchEngine = ENGINE_REGISTRY[method](
-            database, **engine_params)
+        self.engine: SearchEngine = ENGINE_REGISTRY[method].from_config(
+            database, config, gpu=gpu, **engine_params)
 
     def run(self, queries: SegmentArray, d: float, *,
             exclude_same_trajectory: bool = False) -> SearchOutcome:

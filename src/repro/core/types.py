@@ -14,7 +14,7 @@ access requires neighbouring threads to read neighbouring addresses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -257,6 +257,25 @@ class SegmentArray:
             yield (int(self.seg_ids[i]), int(self.traj_ids[i]),
                    self.starts[i], self.ends[i],
                    float(self.ts[i]), float(self.te[i]))
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (plain lists, one per column)."""
+        payload = {f: getattr(self, f).tolist() for f in self._FIELDS}
+        payload["traj_ids"] = self.traj_ids.tolist()
+        payload["seg_ids"] = self.seg_ids.tolist()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SegmentArray":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            *(np.asarray(payload[f], dtype=np.float64)
+              for f in cls._FIELDS),
+            traj_ids=np.asarray(payload["traj_ids"], dtype=np.int64),
+            seg_ids=np.asarray(payload["seg_ids"], dtype=np.int64),
+        )
 
     # -- memory accounting ---------------------------------------------------
 

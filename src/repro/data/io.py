@@ -7,7 +7,6 @@ distance re-load instead of re-simulating.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import numpy as np

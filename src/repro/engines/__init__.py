@@ -1,7 +1,13 @@
 """Search engines: the paper's three GPU schemes, the CPU baseline, and
-the future-work hybrid."""
+the future-work hybrid — plus their typed configs and retry policy."""
 
-from .base import GpuEngineBase, RangeBatch, SearchEngine
+from .base import (GpuEngineBase, KernelInvocationLimitError, NO_RETRY,
+                   RangeBatch, ResultBufferOverflowError, RetryPolicy,
+                   SearchEngine)
+from .config import (CONFIG_REGISTRY, ConfigError, CpuRTreeConfig,
+                     CpuScanConfig, EngineConfig, GpuSpatialConfig,
+                     GpuSpatioTemporalConfig, GpuTemporalConfig,
+                     config_for)
 from .cpu_rtree import CpuRTreeEngine, tune_segments_per_mbb
 from .cpu_scan import CpuScanEngine
 from .gpu_spatial import GpuSpatialEngine
@@ -10,8 +16,11 @@ from .gpu_temporal import GpuTemporalEngine
 from .hybrid import HybridEngine, HybridProfile
 
 __all__ = [
-    "CpuRTreeEngine", "CpuScanEngine", "GpuEngineBase", "GpuSpatialEngine",
-    "GpuSpatioTemporalEngine", "GpuTemporalEngine", "HybridEngine",
-    "HybridProfile", "RangeBatch", "SearchEngine",
-    "tune_segments_per_mbb",
+    "CONFIG_REGISTRY", "ConfigError", "CpuRTreeConfig", "CpuRTreeEngine",
+    "CpuScanConfig", "CpuScanEngine", "EngineConfig", "GpuEngineBase",
+    "GpuSpatialConfig", "GpuSpatialEngine", "GpuSpatioTemporalConfig",
+    "GpuSpatioTemporalEngine", "GpuTemporalConfig", "GpuTemporalEngine",
+    "HybridEngine", "HybridProfile", "KernelInvocationLimitError",
+    "NO_RETRY", "RangeBatch", "ResultBufferOverflowError", "RetryPolicy",
+    "SearchEngine", "config_for", "tune_segments_per_mbb",
 ]

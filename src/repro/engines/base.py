@@ -33,9 +33,12 @@ from ..core.types import SegmentArray
 from ..gpu.atomics import AtomicResultBuffer
 from ..gpu.device import VirtualGPU
 from ..gpu.profiler import CpuSearchProfile, SearchProfile
+from .config import EngineConfig
 
-__all__ = ["SearchEngine", "GpuEngineBase", "RangeBatch",
-           "refine_ranges", "first_fit_accept"]
+__all__ = ["SearchEngine", "GpuEngineBase", "NO_RETRY", "RangeBatch",
+           "RetryPolicy", "ResultBufferOverflowError",
+           "KernelInvocationLimitError", "refine_ranges",
+           "first_fit_accept"]
 
 #: Upper bound on candidate pairs refined per vectorized chunk; keeps peak
 #: host memory flat independent of the workload.
@@ -49,16 +52,111 @@ QUERY_ITEM_BYTES = 80
 MAX_KERNEL_INVOCATIONS = 256
 
 
+class ResultBufferOverflowError(RuntimeError):
+    """A single query's output cannot fit the device result buffer.
+
+    Without intervention the incremental loop would burn invocations
+    without progress; the engine surfaces the condition immediately.
+    ``required_items`` is the smallest buffer capacity that would let the
+    stuck query publish — the retry policy grows the buffer to at least
+    that size before trying again.
+    """
+
+    def __init__(self, message: str, *, required_items: int) -> None:
+        super().__init__(message)
+        self.required_items = int(required_items)
+
+
+class KernelInvocationLimitError(RuntimeError):
+    """The incremental loop hit ``MAX_KERNEL_INVOCATIONS``.
+
+    Reaching the limit means the result buffer is far too small for the
+    workload (every invocation drains only a sliver of the output); the
+    retry policy treats it like an overflow and grows the buffer.
+    """
+
+    def __init__(self, message: str, *, required_items: int) -> None:
+        super().__init__(message)
+        self.required_items = int(required_items)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry policy for the incremental overflow loop.
+
+    When a search fails on result-buffer pressure
+    (:class:`ResultBufferOverflowError` /
+    :class:`KernelInvocationLimitError`), the engine grows
+    ``result_buffer_items`` by ``growth_factor`` (at least to the failing
+    query's required size) and retries — instead of looping all the way to
+    ``MAX_KERNEL_INVOCATIONS`` or failing a request a larger buffer would
+    serve.  Retries stop after ``max_attempts`` total attempts or once
+    ``deadline_s`` wall seconds have elapsed, whichever comes first.
+    """
+
+    max_attempts: int = 4
+    growth_factor: float = 4.0
+    deadline_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.growth_factor <= 1.0:
+            raise ValueError("growth_factor must be > 1")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+
+
+#: retry disabled: one attempt, errors surface immediately.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
 class SearchEngine(abc.ABC):
     """A distance-threshold search engine bound to a database."""
 
     name: str = "engine"
+    #: typed configuration class; ``None`` for engines without one
+    #: (third-party engines registered via ``@register_engine``).
+    config_type: type[EngineConfig] | None = None
 
     @abc.abstractmethod
     def search(self, queries: SegmentArray, d: float, *,
                exclude_same_trajectory: bool = False
                ) -> tuple[ResultSet, SearchProfile | CpuSearchProfile]:
         """Run the search; returns the result set and execution profile."""
+
+    @classmethod
+    def from_config(cls, database: SegmentArray,
+                    config: EngineConfig | None = None, *,
+                    gpu: VirtualGPU | None = None,
+                    **params) -> "SearchEngine":
+        """Construct the engine from a typed config (or loose params).
+
+        ``config`` and ``params`` are mutually exclusive: pass a validated
+        config object, or keyword parameters that are validated against
+        :attr:`config_type` (unknown keys raise
+        :class:`~repro.engines.config.ConfigError`).  ``gpu`` places a GPU
+        engine on a specific :class:`~repro.gpu.device.VirtualGPU`.
+        """
+        if config is not None and params:
+            raise ValueError("pass either config= or keyword parameters, "
+                             "not both")
+        kwargs: dict = {}
+        if cls.config_type is not None:
+            cfg = config if config is not None \
+                else cls.config_type.from_params(**params)
+            if not isinstance(cfg, cls.config_type):
+                raise TypeError(
+                    f"{cls.__name__} expects a {cls.config_type.__name__},"
+                    f" got {type(cfg).__name__}")
+            kwargs = cfg.to_kwargs()
+        else:
+            kwargs = dict(params)
+        # CPU engines have no device; the placement hint applies only to
+        # engines that own a VirtualGPU.
+        if gpu is not None and issubclass(cls, GpuEngineBase):
+            kwargs["gpu"] = gpu
+        return cls(database, **kwargs)
 
 
 @dataclass
@@ -164,19 +262,69 @@ def first_fit_accept(hits_per_thread: np.ndarray,
 class GpuEngineBase(SearchEngine):
     """Shared state and the incremental-processing loop for GPU engines.
 
-    Subclasses implement :meth:`_plan_invocation`, producing the candidate
-    :class:`RangeBatch` (plus per-thread gather-work and overflow
-    information) for a given list of live query rows.
+    Subclasses implement :meth:`_search_once` — one full search attempt
+    with the current buffer sizes.  :meth:`search` wraps it in the
+    bounded-retry policy: on result-buffer pressure the buffer is grown
+    (deadline- and attempt-bounded) and the attempt repeated, instead of
+    the loop burning through ``MAX_KERNEL_INVOCATIONS``.
     """
 
     def __init__(self, database: SegmentArray, *,
                  gpu: VirtualGPU | None = None,
-                 result_buffer_items: int = 2_000_000) -> None:
+                 result_buffer_items: int = 2_000_000,
+                 retry: RetryPolicy | None = None) -> None:
         if len(database) == 0:
             raise ValueError("database must not be empty")
         self.gpu = gpu or VirtualGPU()
         self.result_buffer = AtomicResultBuffer(result_buffer_items)
+        self.retry = retry or RetryPolicy()
         self.database = database  # subclass may replace with sorted order
+
+    # -- the retried search ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def _search_once(self, queries: SegmentArray, d: float, *,
+                     exclude_same_trajectory: bool = False
+                     ) -> tuple[ResultSet, SearchProfile]:
+        """One search attempt with the current buffer capacities."""
+
+    def search(self, queries: SegmentArray, d: float, *,
+               exclude_same_trajectory: bool = False
+               ) -> tuple[ResultSet, SearchProfile]:
+        """Run the search under the engine's :class:`RetryPolicy`."""
+        deadline = time.monotonic() + self.retry.deadline_s
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                return self._search_once(
+                    queries, d,
+                    exclude_same_trajectory=exclude_same_trajectory)
+            except (ResultBufferOverflowError,
+                    KernelInvocationLimitError) as exc:
+                if (attempt >= self.retry.max_attempts
+                        or time.monotonic() >= deadline):
+                    raise
+                target = max(
+                    int(self.result_buffer.capacity_items
+                        * self.retry.growth_factor),
+                    exc.required_items)
+                self.grow_result_buffer(target)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def grow_result_buffer(self, capacity_items: int) -> None:
+        """Replace the device result buffer with a larger one.
+
+        The old allocation is released first so the grown buffer only has
+        to fit alongside the database and index, not its former self.
+        """
+        capacity_items = int(capacity_items)
+        if capacity_items <= self.result_buffer.capacity_items:
+            return
+        mem = self.gpu.memory
+        if "result_buffer" in mem:
+            mem.resize("result_buffer", (capacity_items, 4))
+        else:  # engine built without _place_database (unit-test harness)
+            mem.alloc("result_buffer", (capacity_items, 4))
+        self.result_buffer = AtomicResultBuffer(capacity_items)
 
     # -- helpers for subclasses ------------------------------------------------------
 

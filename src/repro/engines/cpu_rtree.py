@@ -30,6 +30,7 @@ from ..gpu.costmodel import CpuCostModel
 from ..gpu.profiler import CpuSearchProfile
 from ..indexes.rtree import RTree
 from .base import RangeBatch, SearchEngine, refine_ranges
+from .config import CpuRTreeConfig
 
 __all__ = ["CpuRTreeEngine", "tune_segments_per_mbb"]
 
@@ -38,6 +39,7 @@ class CpuRTreeEngine(SearchEngine):
     """The CPU-only baseline engine."""
 
     name = "cpu_rtree"
+    config_type = CpuRTreeConfig
 
     def __init__(self, database: SegmentArray, *,
                  segments_per_mbb: int = 4, fanout: int = 16,

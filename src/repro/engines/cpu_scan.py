@@ -20,6 +20,7 @@ from ..core.result import ResultSet
 from ..core.types import SegmentArray
 from ..gpu.profiler import CpuSearchProfile
 from .base import RangeBatch, SearchEngine, refine_ranges
+from .config import CpuScanConfig
 
 __all__ = ["CpuScanEngine"]
 
@@ -28,6 +29,7 @@ class CpuScanEngine(SearchEngine):
     """Time-bounded sequential scan on the CPU."""
 
     name = "cpu_scan"
+    config_type = CpuScanConfig
 
     def __init__(self, database: SegmentArray) -> None:
         if len(database) == 0:

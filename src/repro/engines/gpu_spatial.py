@@ -36,8 +36,11 @@ from ..core.types import SegmentArray
 from ..gpu.kernel import KernelLauncher
 from ..gpu.profiler import SearchProfile
 from ..indexes.fsg import FlatGrid
-from .base import (GpuEngineBase, MAX_KERNEL_INVOCATIONS, RangeBatch,
-                   first_fit_accept, refine_ranges)
+from .base import (GpuEngineBase, KernelInvocationLimitError,
+                   MAX_KERNEL_INVOCATIONS, RangeBatch,
+                   ResultBufferOverflowError, first_fit_accept,
+                   refine_ranges)
+from .config import GpuSpatialConfig
 
 __all__ = ["GpuSpatialEngine"]
 
@@ -46,14 +49,17 @@ class GpuSpatialEngine(GpuEngineBase):
     """The GPUSpatial search engine."""
 
     name = "gpu_spatial"
+    config_type = GpuSpatialConfig
 
     def __init__(self, database: SegmentArray, *,
                  cells_per_dim: int | tuple[int, int, int] = 50,
                  gpu=None,
                  candidate_buffer_items: int = 8_000_000,
-                 result_buffer_items: int = 2_000_000) -> None:
+                 result_buffer_items: int = 2_000_000,
+                 retry=None) -> None:
         super().__init__(database, gpu=gpu,
-                         result_buffer_items=result_buffer_items)
+                         result_buffer_items=result_buffer_items,
+                         retry=retry)
         if candidate_buffer_items <= 0:
             raise ValueError("candidate buffer must be positive")
         #: the paper's overall buffer size ``s``, split across live queries.
@@ -125,9 +131,9 @@ class GpuSpatialEngine(GpuEngineBase):
 
     # -- search ---------------------------------------------------------------------
 
-    def search(self, queries: SegmentArray, d: float, *,
-               exclude_same_trajectory: bool = False
-               ) -> tuple[ResultSet, SearchProfile]:
+    def _search_once(self, queries: SegmentArray, d: float, *,
+                     exclude_same_trajectory: bool = False
+                     ) -> tuple[ResultSet, SearchProfile]:
         wall0 = time.perf_counter()
         self.gpu.reset_counters()
         launcher = KernelLauncher(self.gpu)
@@ -199,14 +205,23 @@ class GpuSpatialEngine(GpuEngineBase):
                                 f"(s={self.candidate_buffer_items}); "
                                 "increase candidate_buffer_items or "
                                 "coarsen the grid")
-                        raise RuntimeError(
+                        worst = int(hits[rejected].max())
+                        raise ResultBufferOverflowError(
                             "result buffer too small for a single query "
-                            f"({int(hits[rejected].max())} items)")
+                            f"({worst} items > "
+                            f"{self.result_buffer.capacity_items} "
+                            "capacity); increase result_buffer_items or "
+                            "let the retry policy grow it",
+                            required_items=worst)
                     limit = max(1, live.size // 2)
                 else:
                     limit = pending.size
                 if invocation == MAX_KERNEL_INVOCATIONS - 1:
-                    raise RuntimeError("kernel re-invocation limit reached")
+                    raise KernelInvocationLimitError(
+                        "kernel re-invocation limit reached; increase the "
+                        "result buffer capacity",
+                        required_items=self.result_buffer.capacity_items
+                        * 2)
             else:
                 limit = pending.size if pending.size else 1
 

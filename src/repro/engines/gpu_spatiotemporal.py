@@ -26,9 +26,12 @@ from ..core.result import ResultSet
 from ..core.types import SegmentArray
 from ..gpu.kernel import KernelLauncher
 from ..gpu.profiler import SearchProfile
-from ..indexes.spatiotemporal import Schedule, SpatioTemporalIndex
-from .base import (GpuEngineBase, MAX_KERNEL_INVOCATIONS, RangeBatch,
-                   first_fit_accept, refine_ranges)
+from ..indexes.spatiotemporal import SpatioTemporalIndex
+from .base import (GpuEngineBase, KernelInvocationLimitError,
+                   MAX_KERNEL_INVOCATIONS, RangeBatch,
+                   ResultBufferOverflowError, first_fit_accept,
+                   refine_ranges)
+from .config import GpuSpatioTemporalConfig
 from .gpu_temporal import _expand_ranges
 
 __all__ = ["GpuSpatioTemporalEngine"]
@@ -38,12 +41,15 @@ class GpuSpatioTemporalEngine(GpuEngineBase):
     """The GPUSpatioTemporal search engine."""
 
     name = "gpu_spatiotemporal"
+    config_type = GpuSpatioTemporalConfig
 
     def __init__(self, database: SegmentArray, *, num_bins: int = 1000,
                  num_subbins: int = 4, strict_subbins: bool = True,
-                 gpu=None, result_buffer_items: int = 2_000_000) -> None:
+                 gpu=None, result_buffer_items: int = 2_000_000,
+                 retry=None) -> None:
         super().__init__(database, gpu=gpu,
-                         result_buffer_items=result_buffer_items)
+                         result_buffer_items=result_buffer_items,
+                         retry=retry)
         self.index = SpatioTemporalIndex.build(
             database, num_bins, num_subbins, strict=strict_subbins)
         self.database = self.index.segments
@@ -58,9 +64,9 @@ class GpuSpatioTemporalEngine(GpuEngineBase):
 
     # -- search ----------------------------------------------------------------
 
-    def search(self, queries: SegmentArray, d: float, *,
-               exclude_same_trajectory: bool = False
-               ) -> tuple[ResultSet, SearchProfile]:
+    def _search_once(self, queries: SegmentArray, d: float, *,
+                     exclude_same_trajectory: bool = False
+                     ) -> tuple[ResultSet, SearchProfile]:
         wall0 = time.perf_counter()
         self.gpu.reset_counters()
         launcher = KernelLauncher(self.gpu)
@@ -142,11 +148,18 @@ class GpuSpatioTemporalEngine(GpuEngineBase):
                 self.gpu.transfers.d2h("redo_list", live.size * 8)
                 worst = int(hits[rejected].max())
                 if worst > self.result_buffer.capacity_items:
-                    raise RuntimeError(
+                    raise ResultBufferOverflowError(
                         "result buffer too small for a single query "
-                        f"({worst} items)")
+                        f"({worst} items > "
+                        f"{self.result_buffer.capacity_items} capacity); "
+                        "increase result_buffer_items or let the retry "
+                        "policy grow it", required_items=worst)
                 if invocation == MAX_KERNEL_INVOCATIONS - 1:
-                    raise RuntimeError("kernel re-invocation limit reached")
+                    raise KernelInvocationLimitError(
+                        "kernel re-invocation limit reached; increase the "
+                        "result buffer capacity",
+                        required_items=self.result_buffer.capacity_items
+                        * 2)
 
         raw = ResultSet.from_parts(parts)
         final = raw.deduplicated()

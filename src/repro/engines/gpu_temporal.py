@@ -31,8 +31,11 @@ from ..core.types import SegmentArray
 from ..gpu.kernel import KernelLauncher
 from ..gpu.profiler import SearchProfile
 from ..indexes.temporal import TemporalIndex
-from .base import (GpuEngineBase, MAX_KERNEL_INVOCATIONS, RangeBatch,
-                   first_fit_accept, refine_ranges)
+from .base import (GpuEngineBase, KernelInvocationLimitError,
+                   MAX_KERNEL_INVOCATIONS, RangeBatch,
+                   ResultBufferOverflowError, first_fit_accept,
+                   refine_ranges)
+from .config import GpuTemporalConfig
 
 __all__ = ["GpuTemporalEngine"]
 
@@ -41,11 +44,14 @@ class GpuTemporalEngine(GpuEngineBase):
     """The GPUTemporal search engine."""
 
     name = "gpu_temporal"
+    config_type = GpuTemporalConfig
 
     def __init__(self, database: SegmentArray, *, num_bins: int = 1000,
-                 gpu=None, result_buffer_items: int = 2_000_000) -> None:
+                 gpu=None, result_buffer_items: int = 2_000_000,
+                 retry=None) -> None:
         super().__init__(database, gpu=gpu,
-                         result_buffer_items=result_buffer_items)
+                         result_buffer_items=result_buffer_items,
+                         retry=retry)
         # Offline: build the index and place D (sorted) + bins on device.
         self.index = TemporalIndex.build(database, num_bins)
         self.database = self.index.segments
@@ -63,9 +69,9 @@ class GpuTemporalEngine(GpuEngineBase):
 
     # -- search ---------------------------------------------------------------
 
-    def search(self, queries: SegmentArray, d: float, *,
-               exclude_same_trajectory: bool = False
-               ) -> tuple[ResultSet, SearchProfile]:
+    def _search_once(self, queries: SegmentArray, d: float, *,
+                     exclude_same_trajectory: bool = False
+                     ) -> tuple[ResultSet, SearchProfile]:
         wall0 = time.perf_counter()
         self.gpu.reset_counters()
         launcher = KernelLauncher(self.gpu)
@@ -123,14 +129,18 @@ class GpuTemporalEngine(GpuEngineBase):
                 self.gpu.transfers.d2h("redo_list", live.size * 8)
                 worst = int(hits[rejected].max())
                 if worst > self.result_buffer.capacity_items:
-                    raise RuntimeError(
+                    raise ResultBufferOverflowError(
                         "result buffer too small for a single query "
                         f"({worst} items > "
-                        f"{self.result_buffer.capacity_items} capacity)")
+                        f"{self.result_buffer.capacity_items} capacity); "
+                        "increase result_buffer_items or let the retry "
+                        "policy grow it", required_items=worst)
                 if invocation == MAX_KERNEL_INVOCATIONS - 1:
-                    raise RuntimeError(
+                    raise KernelInvocationLimitError(
                         "kernel re-invocation limit reached; increase the "
-                        "result buffer capacity")
+                        "result buffer capacity",
+                        required_items=self.result_buffer.capacity_items
+                        * 2)
 
         raw = ResultSet.from_parts(parts)
         final = raw.deduplicated()

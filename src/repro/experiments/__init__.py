@@ -29,4 +29,6 @@ __all__ = [
     "fit_gpu_cycles", "markdown_table", "ratio_table",
     "records_to_series", "sensitivity_analysis", "series_table",
     "line_chart", "verify_calibration", "write_report",
+    "scenario_s1_random", "scenario_s2_merger",
+    "scenario_s3_random_dense",
 ]

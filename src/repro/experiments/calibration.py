@@ -18,7 +18,7 @@ Anchors used for the shipped constants:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

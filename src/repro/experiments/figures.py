@@ -8,10 +8,6 @@ them are deterministic given the scenario scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
 from ..engines.cpu_rtree import tune_segments_per_mbb
 from .harness import ExperimentRunner, RunRecord
 from .scenarios import (Scenario, scenario_s1_random, scenario_s2_merger,

@@ -10,15 +10,11 @@ there are exactly the rows recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
-
-import numpy as np
 
 from ..core.result import ResultSet
 from ..core.search import ENGINE_REGISTRY
-from ..core.types import SegmentArray
 from ..engines.base import GpuEngineBase, SearchEngine
 from ..gpu.costmodel import CpuCostModel, GpuCostModel
 from ..gpu.profiler import CpuSearchProfile, SearchProfile

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-import numpy as np
 
 from ..gpu.costmodel import CpuCostModel, GpuCostModel
 from ..gpu.profiler import CpuSearchProfile, SearchProfile

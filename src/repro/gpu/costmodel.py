@@ -41,9 +41,7 @@ CPU (R-tree baseline)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from .device import DeviceSpec, TESLA_C2075, VirtualGPU
 from .kernel import KernelStats, warp_work
@@ -80,6 +78,28 @@ class CostBreakdown:
             self.launches + other.launches,
             self.transfers + other.transfers,
             self.host + other.host,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (``total`` included for readers)."""
+        return {
+            "compute": self.compute,
+            "atomics": self.atomics,
+            "launches": self.launches,
+            "transfers": self.transfers,
+            "host": self.host,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostBreakdown":
+        """Inverse of :meth:`to_dict` (``total`` is derived, not stored)."""
+        return cls(
+            compute=float(payload["compute"]),
+            atomics=float(payload["atomics"]),
+            launches=float(payload["launches"]),
+            transfers=float(payload["transfers"]),
+            host=float(payload["host"]),
         )
 
 

@@ -19,7 +19,7 @@ actually computed, so correctness is independent of the timing model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .memory import MemoryManager
 from .transfers import TransferLedger
@@ -102,6 +102,11 @@ class VirtualGPU:
     @property
     def num_kernel_invocations(self) -> int:
         return len(self.kernel_stats)
+
+    @property
+    def free_bytes(self) -> int:
+        """Unallocated device global memory (service placement uses it)."""
+        return self.memory.free_bytes
 
     def __repr__(self) -> str:
         return (f"VirtualGPU({self.spec.name}, "

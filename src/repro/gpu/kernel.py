@@ -18,7 +18,7 @@ time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -67,6 +67,29 @@ class KernelStats:
         if total == 0:
             return 1.0
         return float(eff * warp_size / total)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (work arrays as plain lists)."""
+        return {
+            "name": self.name,
+            "num_threads": int(self.num_threads),
+            "thread_work": self.thread_work.tolist(),
+            "gather_work": self.gather_work.tolist(),
+            "atomic_ops": int(self.atomic_ops),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KernelStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            num_threads=int(payload["num_threads"]),
+            thread_work=np.asarray(payload["thread_work"],
+                                   dtype=np.int64),
+            gather_work=np.asarray(payload["gather_work"],
+                                   dtype=np.int64),
+            atomic_ops=int(payload["atomic_ops"]),
+        )
 
 
 def warp_work(thread_work: np.ndarray, warp_size: int) -> int:

@@ -109,6 +109,23 @@ class MemoryManager:
             raise KeyError(f"no allocation named {name!r}")
         del self._allocations[name]
 
+    def resize(self, name: str, shape: tuple[int, ...] | int,
+               dtype: np.dtype | type = np.float64) -> DeviceArray:
+        """Replace an allocation with a zero-initialized one of a new
+        shape (capacity-checked against the memory freed by the old one).
+
+        Used by the engines' retry policy to grow the device result
+        buffer in place without juggling temporary names.
+        """
+        if name not in self._allocations:
+            raise KeyError(f"no allocation named {name!r}")
+        old = self._allocations.pop(name)
+        try:
+            return self.alloc(name, shape, dtype)
+        except DeviceOutOfMemoryError:
+            self._allocations[name] = old  # roll back
+            raise
+
     def get(self, name: str) -> DeviceArray:
         return self._allocations[name]
 

@@ -12,13 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from .costmodel import CostBreakdown, CpuCostModel, GpuCostModel
 from .device import VirtualGPU
 from .kernel import KernelStats
 
-__all__ = ["SearchProfile", "CpuSearchProfile"]
+__all__ = ["SearchProfile", "CpuSearchProfile", "RequestMetrics"]
 
 
 @dataclass
@@ -108,6 +107,43 @@ class SearchProfile:
         total = total + model.host_time(self.schedule_items)
         return total
 
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation; ``kind`` discriminates GPU/CPU
+        profiles so :meth:`SearchOutcome.from_dict` can reload either."""
+        return {
+            "kind": "gpu",
+            "engine": self.engine,
+            "num_queries": int(self.num_queries),
+            "kernel_stats": [s.to_dict() for s in self.kernel_stats],
+            "h2d_bytes": int(self.h2d_bytes),
+            "d2h_bytes": int(self.d2h_bytes),
+            "num_transfers": int(self.num_transfers),
+            "schedule_items": int(self.schedule_items),
+            "redo_queries": int(self.redo_queries),
+            "defaulted_queries": int(self.defaulted_queries),
+            "raw_result_items": int(self.raw_result_items),
+            "result_items": int(self.result_items),
+            "index_bytes": int(self.index_bytes),
+            "wall_seconds": float(self.wall_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchProfile":
+        """Inverse of :meth:`to_dict`."""
+        if payload.get("kind", "gpu") != "gpu":
+            raise ValueError(
+                f"expected a GPU profile, got kind={payload.get('kind')!r}")
+        fields_ = {k: payload[k] for k in (
+            "engine", "num_queries", "h2d_bytes", "d2h_bytes",
+            "num_transfers", "schedule_items", "redo_queries",
+            "defaulted_queries", "raw_result_items", "result_items",
+            "index_bytes", "wall_seconds")}
+        fields_["kernel_stats"] = [KernelStats.from_dict(s)
+                                   for s in payload["kernel_stats"]]
+        return cls(**fields_)
+
 
 @dataclass
 class CpuSearchProfile:
@@ -128,3 +164,81 @@ class CpuSearchProfile:
             num_queries=self.num_queries,
             result_items=self.result_items,
         )
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (``kind`` discriminator: cpu)."""
+        return {
+            "kind": "cpu",
+            "engine": self.engine,
+            "num_queries": int(self.num_queries),
+            "node_visits": int(self.node_visits),
+            "comparisons": int(self.comparisons),
+            "result_items": int(self.result_items),
+            "index_bytes": int(self.index_bytes),
+            "wall_seconds": float(self.wall_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CpuSearchProfile":
+        """Inverse of :meth:`to_dict`."""
+        if payload.get("kind", "cpu") != "cpu":
+            raise ValueError(
+                f"expected a CPU profile, got kind={payload.get('kind')!r}")
+        return cls(**{k: payload[k] for k in (
+            "engine", "num_queries", "node_visits", "comparisons",
+            "result_items", "index_bytes", "wall_seconds")})
+
+
+@dataclass
+class RequestMetrics:
+    """Service-side telemetry for one batch request.
+
+    Produced by :class:`repro.service.QueryService` next to each
+    :class:`~repro.core.search.SearchOutcome`: where the time went
+    (queue wait vs execution), whether the engine cache hit, and whether
+    the request was degraded to a fallback engine.
+    """
+
+    #: engine actually used (after auto selection / degradation).
+    engine: str = ""
+    #: modeled seconds the batch waited for a free device lane.
+    queue_wait_s: float = 0.0
+    #: True when a cached engine (index already built) served the batch.
+    cache_hit: bool = False
+    #: wall seconds spent building the engine/index (0.0 on cache hits).
+    engine_build_s: float = 0.0
+    #: kernel invocations the batch needed (0 for CPU engines).
+    invocations: int = 0
+    #: modeled response time of the search itself.
+    modeled_seconds: float = 0.0
+    #: wall seconds spent simulating the search.
+    wall_seconds: float = 0.0
+    #: True when the requested/planned engine failed and the service
+    #: fell back to ``cpu_scan``.
+    degraded: bool = False
+    #: why the degradation happened (empty when not degraded).
+    degradation_reason: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "engine": self.engine,
+            "queue_wait_s": float(self.queue_wait_s),
+            "cache_hit": bool(self.cache_hit),
+            "engine_build_s": float(self.engine_build_s),
+            "invocations": int(self.invocations),
+            "modeled_seconds": float(self.modeled_seconds),
+            "wall_seconds": float(self.wall_seconds),
+            "degraded": bool(self.degraded),
+            "degradation_reason": self.degradation_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RequestMetrics":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**{k: payload[k] for k in (
+            "engine", "queue_wait_s", "cache_hit", "engine_build_s",
+            "invocations", "modeled_seconds", "wall_seconds", "degraded",
+            "degradation_reason")})

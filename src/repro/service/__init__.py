@@ -1,0 +1,39 @@
+"""Batched query service: index caching, adaptive engine selection, and
+a typed request/response API.
+
+The paper's engines answer one query set against one pre-built index.  A
+*service* answers a stream of batches, and three serving concerns
+dominate once the index exists:
+
+* amortizing the offline index build across batches (the engine cache),
+* choosing the right engine per workload (planner-driven ``"auto"``),
+* and surviving bad configurations (degradation to ``cpu_scan``).
+
+Entry point::
+
+    from repro.service import QueryService, SearchRequest
+
+    svc = QueryService(db, num_devices=2)
+    resp = svc.submit(SearchRequest(queries=q, d=5.0, method="auto"))
+    resp.outcome.results       # the ResultSet
+    resp.metrics.cache_hit     # served from a cached index?
+    resp.metrics.queue_wait_s  # modeled wait for a free device
+"""
+
+from .cache import (CacheEntry, CacheStats, EngineCache,
+                    canonical_params, database_fingerprint)
+from .requests import SearchRequest, SearchResponse
+from .scheduler import DeviceLane, DevicePool, QueryService
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "DeviceLane",
+    "DevicePool",
+    "EngineCache",
+    "QueryService",
+    "SearchRequest",
+    "SearchResponse",
+    "canonical_params",
+    "database_fingerprint",
+]

@@ -1,0 +1,141 @@
+"""Keyed engine/index cache with LRU eviction against device memory.
+
+Building an index is the paper's offline phase (§V-B): expensive, done
+once, excluded from response time.  A service that rebuilt the index for
+every batch would throw that away, so the service keeps built engines in
+a cache keyed by *database fingerprint × method × canonical parameters*
+— the exact inputs that determine an index's contents.
+
+Eviction is LRU against a byte budget sized to the device pool's
+aggregate global memory: each cached GPU engine holds real allocations on
+its private :class:`~repro.gpu.device.VirtualGPU`, so the budget models
+"how many indexes fit resident on the cards".  CPU engines live in host
+memory, which is not the scarce resource here; they are cached with a
+zero device footprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.types import SegmentArray
+from ..engines.base import SearchEngine
+from ..gpu.device import VirtualGPU
+
+__all__ = ["CacheEntry", "CacheStats", "EngineCache",
+           "canonical_params", "database_fingerprint"]
+
+
+def database_fingerprint(database: SegmentArray) -> str:
+    """Content hash of a database: equal arrays ⇒ equal fingerprint.
+
+    ``SegmentArray`` is unhashable by design (it holds mutable-looking
+    NumPy arrays); the service needs a stable dict key that survives
+    round-trips through files, so it hashes the raw column bytes.
+    """
+    h = hashlib.sha1()
+    for name in (*SegmentArray._FIELDS, "traj_ids", "seg_ids"):
+        h.update(np.ascontiguousarray(getattr(database, name)).tobytes())
+    return h.hexdigest()
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+def canonical_params(params: dict) -> tuple:
+    """Deterministic, hashable view of an engine-parameter dict."""
+    return tuple(sorted((k, _hashable(v)) for k, v in params.items()))
+
+
+@dataclass
+class CacheEntry:
+    """One cached engine: the built index plus placement bookkeeping."""
+
+    key: tuple
+    engine: SearchEngine
+    #: the engine's private device (None for CPU engines).
+    gpu: VirtualGPU | None
+    #: pool lane the engine is homed on (-1 = host lane).
+    lane: int
+    #: device bytes the entry holds resident (0 for CPU engines).
+    nbytes: int
+    #: wall seconds the one-time build took (reported, not charged to
+    #: response time — the offline phase of §V-B).
+    build_wall_s: float
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters, exposed through service stats."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+class EngineCache:
+    """LRU cache of built engines bounded by a device-byte budget."""
+
+    def __init__(self, budget_bytes: int,
+                 on_evict: Callable[[CacheEntry], None] | None = None
+                 ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("cache budget must be positive")
+        self.budget_bytes = int(budget_bytes)
+        self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self._on_evict = on_evict
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(e.nbytes for e in self._entries.values())
+
+    def get(self, key: tuple) -> CacheEntry | None:
+        """Look up an entry, counting the hit/miss and refreshing LRU
+        recency on hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert an entry, evicting least-recently-used entries until
+        the byte budget holds.  An entry larger than the whole budget is
+        rejected (it could never be cached honestly)."""
+        if entry.nbytes > self.budget_bytes:
+            raise ValueError(
+                f"engine needs {entry.nbytes} bytes, cache budget is "
+                f"{self.budget_bytes}")
+        while self._entries \
+                and self.resident_bytes + entry.nbytes > self.budget_bytes:
+            _, victim = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(victim)
+        self._entries[entry.key] = entry
+
+    def entries(self) -> list[CacheEntry]:
+        """Snapshot in LRU order (oldest first), for reporting."""
+        return list(self._entries.values())

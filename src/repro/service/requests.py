@@ -1,0 +1,131 @@
+"""Typed request/response surface of the batched query service.
+
+A client describes one batch of query segments as a
+:class:`SearchRequest` and receives a :class:`SearchResponse` holding the
+:class:`~repro.core.search.SearchOutcome` (results + profile + modeled
+cost) and the service-side :class:`~repro.gpu.profiler.RequestMetrics`
+(queue wait, cache hit/miss, degradation).  Both types round-trip through
+JSON via ``to_dict``/``from_dict`` so batches can be submitted from files
+(see the ``batch`` CLI subcommand) and responses archived next to the
+experiment artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.search import SearchOutcome
+from ..core.types import SegmentArray
+from ..gpu.profiler import RequestMetrics
+
+__all__ = ["SearchRequest", "SearchResponse"]
+
+
+@dataclass
+class SearchRequest:
+    """One batch of query segments to search against the service's
+    database.
+
+    Parameters
+    ----------
+    queries:
+        The query segments ``Q`` (searched as one batch — the paper's
+        unit of GPU work).
+    d:
+        Distance threshold.
+    method:
+        An ``ENGINE_REGISTRY`` name, or ``"auto"`` (default) to let the
+        service pick via the cost-based planner.
+    params:
+        Engine tuning knobs.  With an explicit ``method`` they are
+        validated against that engine's typed config; with ``"auto"``
+        they act as hints — keys the chosen engine does not understand
+        are ignored.
+    exclude_same_trajectory:
+        Self-join mode: drop results pairing a query with its own
+        trajectory.
+    shards:
+        Split the database into this many shards executed concurrently
+        on the device pool (reuses the cluster partitioner); 1 = search
+        the whole database on one device.
+    partition_strategy:
+        Shard assignment rule when ``shards > 1`` (see
+        :mod:`repro.distributed.partition`).
+    request_id:
+        Client-chosen correlation id echoed in the response.
+    """
+
+    queries: SegmentArray
+    d: float
+    method: str = "auto"
+    params: dict = field(default_factory=dict)
+    exclude_same_trajectory: bool = False
+    shards: int = 1
+    partition_strategy: str = "round_robin"
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.queries) == 0:
+            raise ValueError("request needs a non-empty query set")
+        if not (self.d >= 0.0):
+            raise ValueError(f"distance threshold must be >= 0, "
+                             f"got {self.d!r}")
+        if int(self.shards) < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = int(self.shards)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "queries": self.queries.to_dict(),
+            "d": float(self.d),
+            "method": self.method,
+            "params": dict(self.params),
+            "exclude_same_trajectory": bool(self.exclude_same_trajectory),
+            "shards": int(self.shards),
+            "partition_strategy": self.partition_strategy,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchRequest":
+        """Inverse of :meth:`to_dict` (missing optional keys take their
+        defaults, so hand-written request files stay short)."""
+        return cls(
+            queries=SegmentArray.from_dict(payload["queries"]),
+            d=float(payload["d"]),
+            method=payload.get("method", "auto"),
+            params=dict(payload.get("params", {})),
+            exclude_same_trajectory=bool(
+                payload.get("exclude_same_trajectory", False)),
+            shards=int(payload.get("shards", 1)),
+            partition_strategy=payload.get("partition_strategy",
+                                           "round_robin"),
+            request_id=payload.get("request_id", ""),
+        )
+
+
+@dataclass
+class SearchResponse:
+    """What the service returns for one :class:`SearchRequest`."""
+
+    request_id: str
+    outcome: SearchOutcome
+    metrics: RequestMetrics
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "request_id": self.request_id,
+            "outcome": self.outcome.to_dict(),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchResponse":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            request_id=payload["request_id"],
+            outcome=SearchOutcome.from_dict(payload["outcome"]),
+            metrics=RequestMetrics.from_dict(payload["metrics"]),
+        )

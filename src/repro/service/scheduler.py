@@ -1,0 +1,434 @@
+"""The batched query service: device pool, engine cache, adaptive
+selection, degradation.
+
+:class:`QueryService` is the serving-layer composition of everything the
+repository already knows how to do:
+
+* **Index caching** — engines are built once per (database, method,
+  parameters) and reused across batches (:mod:`repro.service.cache`);
+  the index build is the paper's offline phase and is excluded from
+  modeled response time, but its wall cost is reported per request.
+* **Adaptive engine selection** — ``method="auto"`` asks the cost-based
+  planner (:func:`repro.core.planner.plan_search`) to rank engines for
+  the batch's workload and uses the winner.
+* **Graceful degradation** — if planning or index construction fails
+  (e.g. the index does not fit device memory), the request falls back to
+  the index-free ``cpu_scan`` baseline and the response says so.
+* **Device pool** — a :class:`DevicePool` of virtual GPUs with modeled
+  per-lane clocks: concurrent batches queue on the lane their engine is
+  homed on, and a request's ``queue_wait_s`` is the modeled time it
+  spent waiting for its device.  ``shards > 1`` partitions the database
+  across lanes (reusing :mod:`repro.distributed.partition`) and runs the
+  shards concurrently.
+
+Scheduling uses the *modeled* clock, consistent with the rest of the
+repository: wall time measures the simulator, modeled time measures the
+machine the paper ran on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.planner import plan_search
+from ..core.result import ResultSet
+from ..core.search import ENGINE_REGISTRY, SearchOutcome
+from ..core.types import SegmentArray
+from ..distributed.partition import partition_database
+from ..engines.base import GpuEngineBase, RetryPolicy
+from ..engines.config import ConfigError
+from ..gpu.costmodel import CostBreakdown, CpuCostModel, GpuCostModel
+from ..gpu.device import DeviceSpec, TESLA_C2075, VirtualGPU
+from ..gpu.profiler import CpuSearchProfile, RequestMetrics, SearchProfile
+from .cache import (CacheEntry, EngineCache, canonical_params,
+                    database_fingerprint)
+from .requests import SearchRequest, SearchResponse
+
+__all__ = ["DeviceLane", "DevicePool", "QueryService"]
+
+#: planner knobs a request may override through ``params`` hints.
+_PLANNER_HINTS = ("num_bins", "num_subbins", "cells_per_dim",
+                  "segments_per_mbb")
+
+
+@dataclass
+class DeviceLane:
+    """One device's modeled timeline and residency accounting."""
+
+    index: int
+    #: modeled time at which the lane next becomes free.
+    busy_until: float = 0.0
+    #: device bytes held by engines homed on this lane.
+    resident_bytes: int = 0
+
+
+class DevicePool:
+    """A pool of identical virtual GPUs plus one host lane.
+
+    Engines are *homed* on the least-loaded lane when built and stay
+    there (indexes are device-resident; migrating one would be a
+    rebuild).  Each engine still owns a private :class:`VirtualGPU` —
+    real devices isolate contexts, and sharing one memory manager would
+    collide allocation names — so a lane models the *timeline and
+    capacity* of a card, not a shared address space.
+    """
+
+    #: lane index used for CPU engines (host execution).
+    HOST_LANE = -1
+
+    def __init__(self, num_devices: int = 1,
+                 spec: DeviceSpec = TESLA_C2075) -> None:
+        if num_devices < 1:
+            raise ValueError("pool needs at least one device")
+        self.spec = spec
+        self.lanes = [DeviceLane(i) for i in range(num_devices)]
+        self.host = DeviceLane(self.HOST_LANE)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.lanes)
+
+    @property
+    def total_mem_bytes(self) -> int:
+        return self.num_devices * self.spec.global_mem_bytes
+
+    def lane(self, index: int) -> DeviceLane:
+        return self.host if index == self.HOST_LANE else self.lanes[index]
+
+    def home_for(self, nbytes: int) -> DeviceLane:
+        """Pick the lane with the most free memory for a new engine."""
+        return min(self.lanes, key=lambda lane: lane.resident_bytes)
+
+    def place(self, lane_index: int, nbytes: int) -> None:
+        self.lane(lane_index).resident_bytes += nbytes
+
+    def release(self, lane_index: int, nbytes: int) -> None:
+        self.lane(lane_index).resident_bytes -= nbytes
+
+    def busiest_until(self) -> float:
+        """Latest modeled busy_until across all lanes (incl. host)."""
+        return max(self.host.busy_until,
+                   *(lane.busy_until for lane in self.lanes))
+
+
+@dataclass
+class _ShardRun:
+    """One shard's contribution to a (possibly sharded) execution."""
+
+    entry: CacheEntry
+    results: ResultSet
+    profile: SearchProfile | CpuSearchProfile
+    modeled: CostBreakdown
+
+
+class QueryService:
+    """Batched distance-threshold query service over one database.
+
+    Parameters
+    ----------
+    database:
+        The entry-segment database all requests search against.
+    num_devices:
+        Size of the simulated GPU pool.
+    spec:
+        Device model for every pool GPU (default: the paper's C2075).
+    gpu_model, cpu_model:
+        Cost models used to price profiles.
+    cache_bytes:
+        Engine-cache budget; defaults to the pool's aggregate device
+        memory.
+    planner_sample:
+        Query-sample size handed to the planner for ``method="auto"``.
+    retry:
+        Overflow retry policy installed into every GPU engine the
+        service builds (None = the engines' default policy).
+    """
+
+    FALLBACK_METHOD = "cpu_scan"
+
+    def __init__(self, database: SegmentArray, *,
+                 num_devices: int = 1,
+                 spec: DeviceSpec = TESLA_C2075,
+                 gpu_model: GpuCostModel | None = None,
+                 cpu_model: CpuCostModel | None = None,
+                 cache_bytes: int | None = None,
+                 planner_sample: int = 32,
+                 retry: RetryPolicy | None = None) -> None:
+        if len(database) == 0:
+            raise ValueError("service needs a non-empty database")
+        self.database = database
+        self.pool = DevicePool(num_devices, spec)
+        self.gpu_model = gpu_model or GpuCostModel(spec=spec)
+        self.cpu_model = cpu_model or CpuCostModel()
+        self.cache = EngineCache(
+            cache_bytes if cache_bytes is not None
+            else self.pool.total_mem_bytes,
+            on_evict=self._on_evict)
+        self.planner_sample = planner_sample
+        self.retry = retry
+        self.fingerprint = database_fingerprint(database)
+        #: degradation and eviction events, oldest first.
+        self.events: list[dict] = []
+        self._clock = 0.0
+        self._num_requests = 0
+        self._shard_cache: dict[tuple[str, int], list[SegmentArray]] = {}
+
+    # -- public API ---------------------------------------------------------------
+
+    def submit(self, request: SearchRequest) -> SearchResponse:
+        """Serve one request (a batch of one)."""
+        return self.submit_batch([request])[0]
+
+    def submit_batch(self, requests: list[SearchRequest]
+                     ) -> list[SearchResponse]:
+        """Serve a batch of requests arriving together.
+
+        All requests share one modeled arrival instant (the current
+        service clock); each queues on the lane of the engine serving
+        it, so requests on different devices overlap while requests
+        contending for one index serialize — that contention is exactly
+        what ``queue_wait_s`` reports.
+        """
+        arrival = self._clock
+        responses = [self._serve(r, arrival) for r in requests]
+        self._clock = max(self._clock, self.pool.busiest_until())
+        return responses
+
+    def stats(self) -> dict:
+        """Service-level counters for dashboards and tests."""
+        return {
+            "num_requests": self._num_requests,
+            "cache": self.cache.stats.to_dict(),
+            "cached_engines": len(self.cache),
+            "cache_resident_bytes": self.cache.resident_bytes,
+            "num_devices": self.pool.num_devices,
+            "clock_s": self._clock,
+            "lane_busy_until_s": [lane.busy_until
+                                  for lane in self.pool.lanes],
+            "degradations": sum(1 for e in self.events
+                                if e["type"] == "degradation"),
+        }
+
+    # -- request execution ----------------------------------------------------------
+
+    def _serve(self, request: SearchRequest, arrival: float
+               ) -> SearchResponse:
+        self._num_requests += 1
+        metrics = RequestMetrics()
+        method, params = self._resolve_method(request, metrics)
+        try:
+            runs = self._engines_for(request, method, params, metrics)
+        except ConfigError:
+            raise  # caller error: bad parameters are not degradation
+        except Exception as exc:  # noqa: BLE001 - any build failure degrades
+            if method == self.FALLBACK_METHOD:
+                raise  # the fallback itself failed; nothing left to try
+            self._record_degradation(request, method, exc, metrics)
+            method, params = self.FALLBACK_METHOD, {}
+            runs = self._engines_for(request, method, params, metrics)
+        response = self._execute(request, method, runs, arrival, metrics)
+        return response
+
+    def _resolve_method(self, request: SearchRequest,
+                        metrics: RequestMetrics) -> tuple[str, dict]:
+        """Turn ``request.method`` into a concrete engine + parameters."""
+        if request.method != "auto":
+            if request.method not in ENGINE_REGISTRY:
+                raise ValueError(
+                    f"unknown method {request.method!r}; available: "
+                    f"{sorted(ENGINE_REGISTRY)} or 'auto'")
+            return request.method, dict(request.params)
+        hints = {k: v for k, v in request.params.items()
+                 if k in _PLANNER_HINTS}
+        try:
+            plans = plan_search(self.database, request.queries, request.d,
+                                sample=self.planner_sample,
+                                gpu_model=self.gpu_model,
+                                cpu_model=self.cpu_model, **hints)
+        except Exception as exc:  # noqa: BLE001 - degrade, don't fail
+            self._record_degradation(request, "auto", exc, metrics)
+            return self.FALLBACK_METHOD, {}
+        best = plans[0]
+        params = dict(best.params)
+        # Overlay the caller's hints the chosen engine understands
+        # (e.g. a result_buffer_items override).
+        cfg_type = ENGINE_REGISTRY[best.engine].config_type
+        if cfg_type is not None:
+            valid = cfg_type.valid_keys()
+            params.update({k: v for k, v in request.params.items()
+                           if k in valid})
+        return best.engine, params
+
+    def _engines_for(self, request: SearchRequest, method: str,
+                     params: dict, metrics: RequestMetrics
+                     ) -> list[CacheEntry]:
+        """Cached engines serving this request — one per shard."""
+        if request.shards == 1:
+            shard_dbs = [(self.database, self.fingerprint)]
+        else:
+            shard_dbs = [
+                (shard, (self.fingerprint, request.partition_strategy,
+                         request.shards, i))
+                for i, shard in enumerate(
+                    self._shards(request.partition_strategy,
+                                 request.shards))
+            ]
+        entries = []
+        all_hit = True
+        for shard, db_key in shard_dbs:
+            entry, hit = self._engine_entry(shard, method, params,
+                                            db_key, metrics)
+            entries.append(entry)
+            all_hit = all_hit and hit
+        metrics.cache_hit = all_hit
+        return entries
+
+    def _shards(self, strategy: str, n: int) -> list[SegmentArray]:
+        key = (strategy, n)
+        if key not in self._shard_cache:
+            self._shard_cache[key] = partition_database(
+                self.database, n, strategy)
+        return self._shard_cache[key]
+
+    def _engine_entry(self, database: SegmentArray, method: str,
+                      params: dict, db_key, metrics: RequestMetrics
+                      ) -> tuple[CacheEntry, bool]:
+        cls = ENGINE_REGISTRY[method]
+        if cls.config_type is not None:
+            cfg = cls.config_type.from_params(**params)
+            key = (db_key, method, canonical_params(cfg.to_dict()))
+        else:
+            cfg = None
+            key = (db_key, method, canonical_params(params))
+        entry = self.cache.get(key)
+        if entry is not None:
+            return entry, True
+
+        build0 = time.perf_counter()
+        is_gpu = issubclass(cls, GpuEngineBase)
+        gpu = VirtualGPU(self.pool.spec) if is_gpu else None
+        if cfg is not None:
+            engine = cls.from_config(database, cfg, gpu=gpu)
+        else:
+            engine = cls.from_config(database, gpu=gpu, **params)
+        if is_gpu and self.retry is not None:
+            engine.retry = self.retry
+        build_s = time.perf_counter() - build0
+
+        nbytes = gpu.memory.allocated_bytes if gpu is not None else 0
+        lane = (self.pool.home_for(nbytes).index if is_gpu
+                else DevicePool.HOST_LANE)
+        entry = CacheEntry(key=key, engine=engine, gpu=gpu, lane=lane,
+                           nbytes=nbytes, build_wall_s=build_s)
+        self.pool.place(lane, nbytes)
+        self.cache.put(entry)
+        metrics.engine_build_s += build_s
+        return entry, False
+
+    def _execute(self, request: SearchRequest, method: str,
+                 entries: list[CacheEntry], arrival: float,
+                 metrics: RequestMetrics) -> SearchResponse:
+        runs: list[_ShardRun] = []
+        for entry in entries:
+            results, profile = entry.engine.search(
+                request.queries, request.d,
+                exclude_same_trajectory=request.exclude_same_trajectory)
+            if isinstance(profile, CpuSearchProfile):
+                modeled = profile.modeled_time(self.cpu_model)
+            else:
+                modeled = profile.modeled_time(self.gpu_model)
+            runs.append(_ShardRun(entry, results, profile, modeled))
+
+        # Lane occupancy: each shard queues on its engine's home lane;
+        # shards on distinct lanes overlap in modeled time.
+        latest_start = arrival
+        for run in runs:
+            lane = self.pool.lane(run.entry.lane)
+            start = max(arrival, lane.busy_until)
+            lane.busy_until = start + run.modeled.total
+            latest_start = max(latest_start, start)
+
+        outcome = self._merge_outcome(method, runs)
+        metrics.engine = method
+        metrics.queue_wait_s = latest_start - arrival
+        metrics.invocations = sum(
+            len(r.profile.kernel_stats)
+            for r in runs if isinstance(r.profile, SearchProfile))
+        metrics.modeled_seconds = outcome.modeled_seconds
+        metrics.wall_seconds = sum(r.profile.wall_seconds for r in runs)
+        return SearchResponse(request_id=request.request_id,
+                              outcome=outcome, metrics=metrics)
+
+    def _merge_outcome(self, method: str,
+                       runs: list[_ShardRun]) -> SearchOutcome:
+        if len(runs) == 1:
+            run = runs[0]
+            return SearchOutcome(results=run.results,
+                                 profile=run.profile,
+                                 modeled=run.modeled)
+        # Sharded execution: shards are disjoint and covering, so the
+        # union of the per-shard result sets is the whole answer; the
+        # modeled response time is the slowest shard (shards run
+        # concurrently, as in the cluster model).
+        results = ResultSet.from_parts(
+            [r.results for r in runs]).deduplicated()
+        slowest = max(runs, key=lambda r: r.modeled.total)
+        profiles = [r.profile for r in runs]
+        if all(isinstance(p, SearchProfile) for p in profiles):
+            merged: SearchProfile | CpuSearchProfile = SearchProfile(
+                engine=method,
+                num_queries=profiles[0].num_queries,
+                kernel_stats=[s for p in profiles for s in p.kernel_stats],
+                h2d_bytes=sum(p.h2d_bytes for p in profiles),
+                d2h_bytes=sum(p.d2h_bytes for p in profiles),
+                num_transfers=sum(p.num_transfers for p in profiles),
+                schedule_items=sum(p.schedule_items for p in profiles),
+                redo_queries=sum(p.redo_queries for p in profiles),
+                defaulted_queries=sum(p.defaulted_queries
+                                      for p in profiles),
+                raw_result_items=sum(p.raw_result_items
+                                     for p in profiles),
+                result_items=len(results),
+                index_bytes=sum(p.index_bytes for p in profiles),
+                wall_seconds=sum(p.wall_seconds for p in profiles),
+            )
+        else:
+            merged = CpuSearchProfile(
+                engine=method,
+                num_queries=profiles[0].num_queries,
+                node_visits=sum(getattr(p, "node_visits", 0)
+                                for p in profiles),
+                comparisons=sum(getattr(p, "comparisons", 0)
+                                for p in profiles),
+                result_items=len(results),
+                index_bytes=sum(p.index_bytes for p in profiles),
+                wall_seconds=sum(p.wall_seconds for p in profiles),
+            )
+        return SearchOutcome(results=results, profile=merged,
+                             modeled=slowest.modeled)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _record_degradation(self, request: SearchRequest, method: str,
+                            exc: Exception,
+                            metrics: RequestMetrics) -> None:
+        reason = f"{method}: {type(exc).__name__}: {exc}"
+        metrics.degraded = True
+        metrics.degradation_reason = reason
+        self.events.append({
+            "type": "degradation",
+            "request_id": request.request_id,
+            "method": method,
+            "fallback": self.FALLBACK_METHOD,
+            "reason": reason,
+        })
+
+    def _on_evict(self, entry: CacheEntry) -> None:
+        self.pool.release(entry.lane, entry.nbytes)
+        self.events.append({
+            "type": "eviction",
+            "method": entry.key[1],
+            "nbytes": entry.nbytes,
+            "lane": entry.lane,
+        })

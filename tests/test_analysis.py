@@ -1,6 +1,5 @@
 """Tests for proximity-graph analysis and the CPU scan baseline."""
 
-import networkx as nx
 import numpy as np
 import pytest
 
@@ -9,7 +8,6 @@ from repro.core.analysis import (co_travel_time, interaction_groups,
 from repro.core.bruteforce import brute_force_search
 from repro.core.types import SegmentArray, Trajectory
 from repro.engines import CpuScanEngine
-from tests.conftest import make_walk_trajectories
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.types import SegmentArray
 from repro.data.io import cached_dataset, load_segments, save_segments
 from repro.data.merger import MergerConfig, merger_dataset, simulate_merger
 from repro.data.queries import queries_from_database, query_trajectory_ids

@@ -2,7 +2,6 @@
 pathological datasets that indexes must survive."""
 
 import numpy as np
-import pytest
 
 from repro.core.bruteforce import brute_force_search
 from repro.core.types import SegmentArray, Trajectory

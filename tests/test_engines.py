@@ -87,13 +87,16 @@ class TestIncrementalProcessing:
 
     def test_impossible_buffer_raises(self, db_queries_truth):
         """A query whose own output exceeds the whole buffer is a
-        configuration error, reported as such."""
+        configuration error, reported as such (retry disabled; with the
+        default policy the engine grows the buffer instead — see
+        test_overflow_retry.py)."""
+        from repro.engines.base import NO_RETRY
         db, queries, d, truth = db_queries_truth
         per_query = np.bincount(truth.q_ids)
         if per_query.max() < 2:
             pytest.skip("no query with >1 result in this dataset")
         engine = GpuTemporalEngine(db, num_bins=40,
-                                   result_buffer_items=1)
+                                   result_buffer_items=1, retry=NO_RETRY)
         with pytest.raises(RuntimeError, match="result buffer too small"):
             engine.search(queries, d)
 

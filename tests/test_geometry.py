@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core.geometry import (MBB, expand, mbb_min_distance, overlaps,
                                  overlaps_one_to_many,
                                  point_segment_distance, segment_mbbs)
-from repro.core.types import SegmentArray, Trajectory
 
 
 def box(lo, hi):

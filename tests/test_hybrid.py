@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.bruteforce import brute_force_search
 from repro.engines import CpuRTreeEngine, GpuTemporalEngine, HybridEngine
 from repro.gpu.costmodel import CpuCostModel, GpuCostModel
 

@@ -1,6 +1,5 @@
 """Tests for index introspection statistics."""
 
-import numpy as np
 import pytest
 
 from repro.indexes import (FlatGrid, RTree, SpatioTemporalIndex,

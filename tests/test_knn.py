@@ -6,9 +6,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.knn import (TrajectoryKnn, knn_brute_force,
                             pair_min_distance)
-from repro.core.distance import compare_pairs, distance_at
+from repro.core.distance import compare_pairs
 from repro.core.types import SegmentArray, Trajectory
-from tests.conftest import make_walk_trajectories
 
 
 def seg(traj_id, t0, t1, p0, p1):

@@ -1,0 +1,25 @@
+"""Lint gate: `ruff check` must be clean under the pyproject config.
+
+The rule set (E4/E7/E9/F) targets real defects — unused imports,
+undefined names, syntax errors — not style.  The test is skipped when
+ruff is not installed so the suite stays runnable on a bare
+numpy/scipy/pytest environment.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_ruff_clean():
+    ruff = shutil.which("ruff")
+    if ruff is None:
+        pytest.skip("ruff not installed in this environment")
+    proc = subprocess.run(
+        [ruff, "check", "src", "tests", "benchmarks", "examples"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}"

@@ -21,7 +21,6 @@ miss (wrong axis, missing d-expansion, off-by-one bin shifts).
 import numpy as np
 import pytest
 
-from repro.core.result import ResultSet
 from repro.core.types import SegmentArray
 from repro.engines import (CpuRTreeEngine, GpuSpatialEngine,
                            GpuSpatioTemporalEngine, GpuTemporalEngine)

@@ -2,11 +2,10 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.gpu.costmodel import GpuCostModel
-from repro.gpu.occupancy import (FERMI, FermiLimits, LaunchConfig,
+from repro.gpu.occupancy import (FermiLimits, LaunchConfig,
                                  best_block_size, occupancy, utilization)
 from repro.gpu.trace import profile_to_trace, write_trace
 

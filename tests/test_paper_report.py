@@ -2,7 +2,6 @@
 
 from pathlib import Path
 
-import pytest
 
 from repro.experiments.paper_report import (ARTIFACTS, build_report,
                                             write_report)

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.distributed",
     "repro.astro",
     "repro.experiments",
+    "repro.service",
 ]
 
 
@@ -54,6 +55,67 @@ def test_engine_registry_complete():
     assert set(ENGINE_REGISTRY) == {
         "gpu_spatial", "gpu_temporal", "gpu_spatiotemporal",
         "cpu_rtree", "cpu_scan"}
+
+
+def test_service_layer_entry_points_exist():
+    """The serving-layer surface added with the batched query service."""
+    import repro
+    for name in ("QueryService", "SearchRequest", "SearchResponse",
+                 "register_engine", "ConfigError"):
+        assert hasattr(repro, name)
+    from repro.engines import (GpuSpatialConfig, GpuSpatioTemporalConfig,
+                               GpuTemporalConfig, CpuRTreeConfig,
+                               RetryPolicy, NO_RETRY)
+    from repro.gpu.profiler import RequestMetrics
+    from repro.service import EngineCache, database_fingerprint
+    assert callable(database_fingerprint)
+    assert EngineCache and RequestMetrics and RetryPolicy
+    assert NO_RETRY.max_attempts == 1
+    assert GpuSpatialConfig and GpuSpatioTemporalConfig
+    assert GpuTemporalConfig and CpuRTreeConfig
+
+
+def test_direct_registry_mutation_warns():
+    """Writing ENGINE_REGISTRY[name] = cls still works but is
+    deprecated in favour of @register_engine."""
+    import warnings
+
+    from repro.core.search import ENGINE_REGISTRY
+    from repro.engines import CpuScanEngine
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        ENGINE_REGISTRY["_legacy_test_engine"] = CpuScanEngine
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+    assert ENGINE_REGISTRY["_legacy_test_engine"] is CpuScanEngine
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        del ENGINE_REGISTRY["_legacy_test_engine"]
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+    assert "_legacy_test_engine" not in ENGINE_REGISTRY
+
+
+def test_register_engine_decorator():
+    """@register_engine is the supported extension point."""
+    import pytest
+
+    from repro.core.search import ENGINE_REGISTRY, register_engine
+    from repro.engines import CpuScanEngine
+
+    @register_engine("_decorated_test_engine")
+    class _Custom(CpuScanEngine):
+        """Test double."""
+
+    try:
+        assert ENGINE_REGISTRY["_decorated_test_engine"] is _Custom
+    finally:
+        dict.__delitem__(ENGINE_REGISTRY, "_decorated_test_engine")
+    with pytest.raises(TypeError):
+        register_engine("_bad")(object)
+    with pytest.raises(ValueError):
+        register_engine("")
 
 
 def test_version():

@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments import ExperimentRunner, scenario_s2_merger
 from repro.experiments.sensitivity import (CPU_PARAMETERS,
-                                           GPU_PARAMETERS, ProfileSet,
+                                           GPU_PARAMETERS,
                                            SensitivityRow,
                                            collect_profiles,
                                            crossover_distance,

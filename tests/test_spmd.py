@@ -1,6 +1,5 @@
 """Tests for the communicator abstraction and SPMD search driver."""
 
-import numpy as np
 import pytest
 
 from repro.core.bruteforce import brute_force_search

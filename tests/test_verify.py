@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.result import ResultSet
-from repro.core.verify import VerificationReport, verify_results
+from repro.core.verify import verify_results
 from repro.engines import GpuSpatioTemporalEngine, GpuTemporalEngine
 
 

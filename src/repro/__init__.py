@@ -26,6 +26,7 @@ from .engines import (ConfigError, CpuRTreeEngine, GpuSpatialEngine,
                       HybridEngine)
 from .gpu import (CpuCostModel, GpuCostModel, TESLA_C2075, VirtualGPU,
                   XEON_W3690)
+from .obs import Telemetry
 from .service import QueryService, SearchRequest, SearchResponse
 
 __version__ = "1.1.0"
@@ -35,7 +36,8 @@ __all__ = [
     "DistanceThresholdSearch", "ENGINE_REGISTRY", "GpuCostModel",
     "GpuSpatialEngine", "GpuSpatioTemporalEngine", "GpuTemporalEngine",
     "HybridEngine", "QueryService", "ResultSet", "SearchOutcome",
-    "SearchRequest", "SearchResponse", "SegmentArray", "TESLA_C2075",
+    "SearchRequest", "SearchResponse", "SegmentArray", "Telemetry",
+    "TESLA_C2075",
     "Trajectory", "VirtualGPU", "XEON_W3690", "brute_force_search",
     "merger_dataset", "queries_from_database", "random_dataset",
     "random_dense_dataset", "register_engine", "__version__",

@@ -8,6 +8,11 @@ search     run a distance-threshold search (--verify for an independent
            result check, --trace for a chrome://tracing timeline)
 batch      serve repeated query batches through the query service
            (engine cache + planner-driven 'auto' method)
+metrics    serve batches and export the service metrics registry
+           (Prometheus text or JSON snapshot)
+trace      serve batches and export telemetry: a multi-lane
+           chrome://tracing timeline, span trees, and the structured
+           event log
 knn        run the kNN extension over a saved dataset
 plan       rank the engines for a workload without running a search
 stats      index-statistics report for a dataset
@@ -23,6 +28,9 @@ python -m repro search merger.npz --d 1.5 --method gpu_spatiotemporal \\
     --num-bins 1000 --num-subbins 8 --query-trajectories 8
 python -m repro batch merger.npz --d 1.5 --batches 8 --method auto \\
     --num-devices 2 --out responses.json
+python -m repro metrics merger.npz --d 1.5 --batches 8
+python -m repro trace merger.npz --d 1.5 --num-devices 2 \\
+    --out trace.json --spans spans.json --events events.jsonl
 python -m repro figures fig5 --scale 0.01
 """
 
@@ -75,33 +83,35 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "batch", help="serve repeated query batches through the "
                       "query service")
-    p.add_argument("database", help=".npz produced by 'generate'")
-    p.add_argument("--d", type=float, default=None,
-                   help="query distance threshold (required unless "
-                        "--requests supplies per-request values)")
-    p.add_argument("--batches", type=int, default=8,
-                   help="number of query batches to synthesize "
-                        "(default 8); ignored with --requests")
-    p.add_argument("--requests", default=None, metavar="PATH",
-                   help="JSON file with a list of SearchRequest dicts "
-                        "(overrides batch synthesis)")
-    p.add_argument("--method", default="auto",
-                   choices=sorted(ENGINE_REGISTRY) + ["auto"],
-                   help="engine, or 'auto' for planner-driven selection")
-    p.add_argument("--num-devices", type=int, default=1,
-                   help="size of the simulated GPU pool")
-    p.add_argument("--shards", type=int, default=1,
-                   help="partition the database across this many "
-                        "concurrent shards per request")
-    p.add_argument("--query-trajectories", type=int, default=4,
-                   help="trajectories sampled per synthesized batch")
-    p.add_argument("--num-bins", type=int, default=1000)
-    p.add_argument("--num-subbins", type=int, default=4)
-    p.add_argument("--cells-per-dim", type=int, default=50)
-    p.add_argument("--segments-per-mbb", type=int, default=4)
-    p.add_argument("--seed", type=int, default=0)
+    _add_batch_args(p)
     p.add_argument("--out", default=None, metavar="PATH",
                    help="write all responses as JSON")
+
+    p = sub.add_parser(
+        "metrics", help="serve batches and export the service "
+                        "metrics registry")
+    _add_batch_args(p)
+    p.add_argument("--format", choices=["prometheus", "json"],
+                   default="prometheus",
+                   help="exposition format (default: prometheus text)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the exposition to a file instead of "
+                        "stdout")
+
+    p = sub.add_parser(
+        "trace", help="serve batches and export telemetry (chrome "
+                      "trace, span trees, event log)")
+    _add_batch_args(p)
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="chrome://tracing JSON of the batch across "
+                        "device lanes")
+    p.add_argument("--spans", default=None, metavar="PATH",
+                   help="write the span trees as JSON")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="write the structured event log as JSON lines")
+    p.add_argument("--slow-ms", type=float, default=1000.0,
+                   help="slow-query threshold in modeled milliseconds "
+                        "(default 1000)")
 
     p = sub.add_parser("knn", help="run the kNN extension")
     _add_search_args(p)
@@ -131,6 +141,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("calibrate",
                    help="re-fit and verify cost-model constants")
     return parser
+
+
+def _add_batch_args(p: argparse.ArgumentParser) -> None:
+    """Arguments shared by the service-driving subcommands
+    (``batch`` / ``metrics`` / ``trace``)."""
+    p.add_argument("database", help=".npz produced by 'generate'")
+    p.add_argument("--d", type=float, default=None,
+                   help="query distance threshold (required unless "
+                        "--requests supplies per-request values)")
+    p.add_argument("--batches", type=int, default=8,
+                   help="number of query batches to synthesize "
+                        "(default 8); ignored with --requests")
+    p.add_argument("--requests", default=None, metavar="PATH",
+                   help="JSON file with a list of SearchRequest dicts "
+                        "(overrides batch synthesis)")
+    p.add_argument("--method", default="auto",
+                   choices=sorted(ENGINE_REGISTRY) + ["auto"],
+                   help="engine, or 'auto' for planner-driven selection")
+    p.add_argument("--num-devices", type=int, default=1,
+                   help="size of the simulated GPU pool")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the database across this many "
+                        "concurrent shards per request")
+    p.add_argument("--query-trajectories", type=int, default=4,
+                   help="trajectories sampled per synthesized batch")
+    p.add_argument("--num-bins", type=int, default=1000)
+    p.add_argument("--num-subbins", type=int, default=4)
+    p.add_argument("--cells-per-dim", type=int, default=50)
+    p.add_argument("--segments-per-mbb", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
 
 
 def _add_search_args(p: argparse.ArgumentParser) -> None:
@@ -248,35 +288,55 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_requests(args: argparse.Namespace, database):
+    """Load or synthesize the request list for the service commands."""
+    import json
+
+    from .service import SearchRequest
+
+    if args.requests:
+        with open(args.requests) as fh:
+            return [SearchRequest.from_dict(p) for p in json.load(fh)]
+    if args.d is None:
+        print(f"repro {args.command}: error: --d is required when "
+              f"synthesizing batches (no --requests)", file=sys.stderr)
+        return None
+    # Repeated batches over the same database: the workload the
+    # engine cache exists for.
+    params = {} if args.method == "auto" else _batch_params(args)
+    requests = []
+    for i in range(args.batches):
+        queries = queries_from_database(
+            database, args.query_trajectories,
+            rng=np.random.default_rng(args.seed + i))
+        requests.append(SearchRequest(
+            queries=queries, d=args.d, method=args.method,
+            params=params, shards=args.shards,
+            request_id=f"batch-{i}"))
+    return requests
+
+
+def _run_service(args: argparse.Namespace, telemetry=None):
+    """Build the service, serve the batches, return both (or None on a
+    usage error already reported to stderr)."""
+    from .service import QueryService
+
+    database = load_segments(args.database)
+    requests = _batch_requests(args, database)
+    if requests is None:
+        return None, None
+    service = QueryService(database, num_devices=args.num_devices,
+                           telemetry=telemetry)
+    responses = [service.submit(req) for req in requests]
+    return service, responses
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     import json
 
-    from .service import QueryService, SearchRequest
-
-    database = load_segments(args.database)
-    if args.requests:
-        with open(args.requests) as fh:
-            requests = [SearchRequest.from_dict(p) for p in json.load(fh)]
-    else:
-        if args.d is None:
-            print("repro batch: error: --d is required when "
-                  "synthesizing batches (no --requests)", file=sys.stderr)
-            return 2
-        # Repeated batches over the same database: the workload the
-        # engine cache exists for.
-        params = {} if args.method == "auto" else _batch_params(args)
-        requests = []
-        for i in range(args.batches):
-            queries = queries_from_database(
-                database, args.query_trajectories,
-                rng=np.random.default_rng(args.seed + i))
-            requests.append(SearchRequest(
-                queries=queries, d=args.d, method=args.method,
-                params=params, shards=args.shards,
-                request_id=f"batch-{i}"))
-
-    service = QueryService(database, num_devices=args.num_devices)
-    responses = [service.submit(req) for req in requests]
+    service, responses = _run_service(args)
+    if service is None:
+        return 2
     for resp in responses:
         m = resp.metrics
         flags = []
@@ -300,6 +360,54 @@ def cmd_batch(args: argparse.Namespace) -> int:
         with open(args.out, "w") as fh:
             json.dump([r.to_dict() for r in responses], fh)
         print(f"responses written to {args.out}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    service, _responses = _run_service(args)
+    if service is None:
+        return 2
+    registry = service.telemetry.metrics
+    if args.format == "json":
+        text = json.dumps(registry.snapshot(), indent=2)
+    else:
+        text = registry.to_prometheus_text()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"metrics written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import Telemetry, write_service_trace
+
+    telemetry = Telemetry(slow_query_threshold_s=args.slow_ms / 1e3)
+    service, responses = _run_service(args, telemetry=telemetry)
+    if service is None:
+        return 2
+    path = write_service_trace(responses, args.out,
+                               model=service.gpu_model)
+    print(f"chrome trace written to {path} "
+          f"({len(responses)} requests, "
+          f"{service.pool.num_devices} lanes)")
+    if args.spans:
+        with open(args.spans, "w") as fh:
+            json.dump([s.to_dict()
+                       for s in telemetry.tracer.roots], fh)
+        print(f"span trees written to {args.spans}")
+    if args.events:
+        telemetry.events.write_jsonl(args.events)
+        print(f"event log written to {args.events} "
+              f"({len(telemetry.events)} events)")
+    if len(telemetry.slow_log):
+        print(telemetry.slow_log.render())
     return 0
 
 
@@ -421,6 +529,8 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "search": cmd_search,
         "batch": cmd_batch,
+        "metrics": cmd_metrics,
+        "trace": cmd_trace,
         "knn": cmd_knn,
         "plan": cmd_plan,
         "stats": cmd_stats,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import abc
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,12 +34,27 @@ from ..core.types import SegmentArray
 from ..gpu.atomics import AtomicResultBuffer
 from ..gpu.device import VirtualGPU
 from ..gpu.profiler import CpuSearchProfile, SearchProfile
+from ..obs.telemetry import current as current_telemetry
 from .config import EngineConfig
 
 __all__ = ["SearchEngine", "GpuEngineBase", "NO_RETRY", "RangeBatch",
            "RetryPolicy", "ResultBufferOverflowError",
            "KernelInvocationLimitError", "refine_ranges",
-           "first_fit_accept"]
+           "first_fit_accept", "index_build_phase"]
+
+
+@contextmanager
+def index_build_phase(engine_name: str):
+    """Observe one offline index build: a span plus a wall-seconds
+    histogram sample, both no-ops without ambient telemetry."""
+    telemetry = current_telemetry()
+    wall0 = time.perf_counter()
+    with telemetry.span("index.build", engine=engine_name):
+        yield
+    telemetry.metrics.histogram(
+        "repro_index_build_seconds",
+        "offline index build wall seconds").observe(
+        time.perf_counter() - wall0, engine=engine_name)
 
 #: Upper bound on candidate pairs refined per vectorized chunk; keeps peak
 #: host memory flat independent of the workload.
@@ -292,23 +308,57 @@ class GpuEngineBase(SearchEngine):
                exclude_same_trajectory: bool = False
                ) -> tuple[ResultSet, SearchProfile]:
         """Run the search under the engine's :class:`RetryPolicy`."""
-        deadline = time.monotonic() + self.retry.deadline_s
-        for attempt in range(1, self.retry.max_attempts + 1):
-            try:
-                return self._search_once(
-                    queries, d,
-                    exclude_same_trajectory=exclude_same_trajectory)
-            except (ResultBufferOverflowError,
-                    KernelInvocationLimitError) as exc:
-                if (attempt >= self.retry.max_attempts
-                        or time.monotonic() >= deadline):
-                    raise
-                target = max(
-                    int(self.result_buffer.capacity_items
-                        * self.retry.growth_factor),
-                    exc.required_items)
-                self.grow_result_buffer(target)
-        raise AssertionError("unreachable")  # pragma: no cover
+        telemetry = current_telemetry()
+        with telemetry.span("engine.search", engine=self.name,
+                            num_queries=len(queries)) as span:
+            deadline = time.monotonic() + self.retry.deadline_s
+            for attempt in range(1, self.retry.max_attempts + 1):
+                try:
+                    results, profile = self._search_once(
+                        queries, d,
+                        exclude_same_trajectory=exclude_same_trajectory)
+                except (ResultBufferOverflowError,
+                        KernelInvocationLimitError) as exc:
+                    if (attempt >= self.retry.max_attempts
+                            or time.monotonic() >= deadline):
+                        raise
+                    target = max(
+                        int(self.result_buffer.capacity_items
+                            * self.retry.growth_factor),
+                        exc.required_items)
+                    telemetry.metrics.counter(
+                        "repro_search_retries_total",
+                        "result-buffer overflow retries").inc(
+                            engine=self.name)
+                    telemetry.events.emit(
+                        "search_retry", engine=self.name,
+                        attempt=attempt, target_items=target,
+                        error=type(exc).__name__)
+                    self.grow_result_buffer(target)
+                else:
+                    span.set_attributes(
+                        attempts=attempt,
+                        invocations=profile.num_kernel_invocations,
+                        redo_queries=profile.redo_queries,
+                        result_items=profile.result_items)
+                    m = telemetry.metrics
+                    m.counter("repro_kernel_invocations_total",
+                              "kernel invocations").inc(
+                        profile.num_kernel_invocations,
+                        engine=self.name)
+                    m.counter("repro_redo_queries_total",
+                              "queries re-processed after buffer "
+                              "pressure").inc(
+                        profile.redo_queries, engine=self.name)
+                    if profile.defaulted_queries:
+                        m.counter(
+                            "repro_defaulted_queries_total",
+                            "queries defaulted to the temporal "
+                            "scheme").inc(
+                            profile.defaulted_queries,
+                            engine=self.name)
+                    return results, profile
+            raise AssertionError("unreachable")  # pragma: no cover
 
     def grow_result_buffer(self, capacity_items: int) -> None:
         """Replace the device result buffer with a larger one.

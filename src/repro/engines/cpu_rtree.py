@@ -29,7 +29,9 @@ from ..core.types import SegmentArray
 from ..gpu.costmodel import CpuCostModel
 from ..gpu.profiler import CpuSearchProfile
 from ..indexes.rtree import RTree
-from .base import RangeBatch, SearchEngine, refine_ranges
+from ..obs.telemetry import current as current_telemetry
+from .base import (RangeBatch, SearchEngine, index_build_phase,
+                   refine_ranges)
 from .config import CpuRTreeConfig
 
 __all__ = ["CpuRTreeEngine", "tune_segments_per_mbb"]
@@ -47,14 +49,30 @@ class CpuRTreeEngine(SearchEngine):
                  temporal_axis: bool = True) -> None:
         if len(database) == 0:
             raise ValueError("database must not be empty")
-        self.index = RTree.build(database, segments_per_mbb=segments_per_mbb,
-                                 fanout=fanout, method=build_method,
-                                 temporal_axis=temporal_axis)
-        self.database = self.index.segments
+        with index_build_phase(self.name):
+            self.index = RTree.build(database,
+                                     segments_per_mbb=segments_per_mbb,
+                                     fanout=fanout, method=build_method,
+                                     temporal_axis=temporal_axis)
+            self.database = self.index.segments
 
     def search(self, queries: SegmentArray, d: float, *,
                exclude_same_trajectory: bool = False
                ) -> tuple[ResultSet, CpuSearchProfile]:
+        with current_telemetry().span(
+                "engine.search", engine=self.name,
+                num_queries=len(queries)) as span:
+            result, profile = self._search_impl(
+                queries, d,
+                exclude_same_trajectory=exclude_same_trajectory)
+            span.set_attributes(node_visits=profile.node_visits,
+                                comparisons=profile.comparisons,
+                                result_items=profile.result_items)
+            return result, profile
+
+    def _search_impl(self, queries: SegmentArray, d: float, *,
+                     exclude_same_trajectory: bool = False
+                     ) -> tuple[ResultSet, CpuSearchProfile]:
         wall0 = time.perf_counter()
         candidates, node_visits = self.index.query_candidates(queries, d)
 

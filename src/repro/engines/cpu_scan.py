@@ -19,6 +19,7 @@ import numpy as np
 from ..core.result import ResultSet
 from ..core.types import SegmentArray
 from ..gpu.profiler import CpuSearchProfile
+from ..obs.telemetry import current as current_telemetry
 from .base import RangeBatch, SearchEngine, refine_ranges
 from .config import CpuScanConfig
 
@@ -43,6 +44,19 @@ class CpuScanEngine(SearchEngine):
     def search(self, queries: SegmentArray, d: float, *,
                exclude_same_trajectory: bool = False
                ) -> tuple[ResultSet, CpuSearchProfile]:
+        with current_telemetry().span(
+                "engine.search", engine=self.name,
+                num_queries=len(queries)) as span:
+            result, profile = self._search_impl(
+                queries, d,
+                exclude_same_trajectory=exclude_same_trajectory)
+            span.set_attributes(comparisons=profile.comparisons,
+                                result_items=profile.result_items)
+            return result, profile
+
+    def _search_impl(self, queries: SegmentArray, d: float, *,
+                     exclude_same_trajectory: bool = False
+                     ) -> tuple[ResultSet, CpuSearchProfile]:
         wall0 = time.perf_counter()
         db = self.database
         # Candidate rows for query k: entries with ts <= q.te and

@@ -39,7 +39,7 @@ from ..indexes.fsg import FlatGrid
 from .base import (GpuEngineBase, KernelInvocationLimitError,
                    MAX_KERNEL_INVOCATIONS, RangeBatch,
                    ResultBufferOverflowError, first_fit_accept,
-                   refine_ranges)
+                   index_build_phase, refine_ranges)
 from .config import GpuSpatialConfig
 
 __all__ = ["GpuSpatialEngine"]
@@ -64,15 +64,17 @@ class GpuSpatialEngine(GpuEngineBase):
             raise ValueError("candidate buffer must be positive")
         #: the paper's overall buffer size ``s``, split across live queries.
         self.candidate_buffer_items = int(candidate_buffer_items)
-        self.index = FlatGrid.build(database, cells_per_dim)
-        self.database = database
-        self._place_database(database, "fsg_db")
-        mem = self.gpu.memory
-        mem.put("fsg_G", self.index.cell_ids)
-        mem.put("fsg_ranges", np.stack([self.index.cell_start,
-                                        self.index.cell_end]))
-        mem.put("fsg_A", self.index.lookup.astype(np.int32))
-        mem.alloc("fsg_U", self.candidate_buffer_items, dtype=np.int32)
+        with index_build_phase(self.name):
+            self.index = FlatGrid.build(database, cells_per_dim)
+            self.database = database
+            self._place_database(database, "fsg_db")
+            mem = self.gpu.memory
+            mem.put("fsg_G", self.index.cell_ids)
+            mem.put("fsg_ranges", np.stack([self.index.cell_start,
+                                            self.index.cell_end]))
+            mem.put("fsg_A", self.index.lookup.astype(np.int32))
+            mem.alloc("fsg_U", self.candidate_buffer_items,
+                      dtype=np.int32)
 
     # -- candidate gathering (kernel steps 1-3) -----------------------------------
 

@@ -30,7 +30,7 @@ from ..indexes.spatiotemporal import SpatioTemporalIndex
 from .base import (GpuEngineBase, KernelInvocationLimitError,
                    MAX_KERNEL_INVOCATIONS, RangeBatch,
                    ResultBufferOverflowError, first_fit_accept,
-                   refine_ranges)
+                   index_build_phase, refine_ranges)
 from .config import GpuSpatioTemporalConfig
 from .gpu_temporal import _expand_ranges
 
@@ -50,17 +50,19 @@ class GpuSpatioTemporalEngine(GpuEngineBase):
         super().__init__(database, gpu=gpu,
                          result_buffer_items=result_buffer_items,
                          retry=retry)
-        self.index = SpatioTemporalIndex.build(
-            database, num_bins, num_subbins, strict=strict_subbins)
-        self.database = self.index.segments
-        self._place_database(self.database, "st_db")
-        mem = self.gpu.memory
-        for name, arr, offs in zip("XYZ", self.index.dim_arrays,
-                                   self.index.dim_offsets):
-            mem.put(f"subbin_{name}", arr.astype(np.int32))
-            mem.put(f"subbin_{name}_offsets", offs)
-        mem.put("st_bins", np.stack(
-            [self.index.temporal.bin_start, self.index.temporal.bin_end]))
+        with index_build_phase(self.name):
+            self.index = SpatioTemporalIndex.build(
+                database, num_bins, num_subbins, strict=strict_subbins)
+            self.database = self.index.segments
+            self._place_database(self.database, "st_db")
+            mem = self.gpu.memory
+            for name, arr, offs in zip("XYZ", self.index.dim_arrays,
+                                       self.index.dim_offsets):
+                mem.put(f"subbin_{name}", arr.astype(np.int32))
+                mem.put(f"subbin_{name}_offsets", offs)
+            mem.put("st_bins", np.stack(
+                [self.index.temporal.bin_start,
+                 self.index.temporal.bin_end]))
 
     # -- search ----------------------------------------------------------------
 

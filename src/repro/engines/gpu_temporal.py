@@ -34,7 +34,7 @@ from ..indexes.temporal import TemporalIndex
 from .base import (GpuEngineBase, KernelInvocationLimitError,
                    MAX_KERNEL_INVOCATIONS, RangeBatch,
                    ResultBufferOverflowError, first_fit_accept,
-                   refine_ranges)
+                   index_build_phase, refine_ranges)
 from .config import GpuTemporalConfig
 
 __all__ = ["GpuTemporalEngine"]
@@ -53,13 +53,14 @@ class GpuTemporalEngine(GpuEngineBase):
                          result_buffer_items=result_buffer_items,
                          retry=retry)
         # Offline: build the index and place D (sorted) + bins on device.
-        self.index = TemporalIndex.build(database, num_bins)
-        self.database = self.index.segments
-        self._place_database(self.database, "temporal_db")
-        self.gpu.memory.put("temporal_bins", np.stack(
-            [self.index.bin_start, self.index.bin_end,
-             self.index.bin_first.astype(np.float64),
-             self.index.bin_last.astype(np.float64)]))
+        with index_build_phase(self.name):
+            self.index = TemporalIndex.build(database, num_bins)
+            self.database = self.index.segments
+            self._place_database(self.database, "temporal_db")
+            self.gpu.memory.put("temporal_bins", np.stack(
+                [self.index.bin_start, self.index.bin_end,
+                 self.index.bin_first.astype(np.float64),
+                 self.index.bin_last.astype(np.float64)]))
 
     # -- schedule -------------------------------------------------------------
 

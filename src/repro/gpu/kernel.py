@@ -18,10 +18,12 @@ time.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.telemetry import current as _current_telemetry
 from .device import VirtualGPU
 
 __all__ = ["KernelStats", "KernelLauncher", "warp_work"]
@@ -146,15 +148,28 @@ class _LaunchContext:
         self._atomics += int(n)
 
     def __enter__(self) -> "_LaunchContext":
+        self._wall0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is not None:
             return  # don't record failed launches
-        self.gpu.kernel_stats.append(KernelStats(
+        stats = KernelStats(
             name=self.name,
             num_threads=self.num_threads,
             thread_work=self.thread_work,
             gather_work=self.gather_work,
             atomic_ops=self._atomics,
-        ))
+        )
+        self.gpu.kernel_stats.append(stats)
+        # One span per invocation under the engine's search span (a
+        # no-op when no telemetry is active).
+        telemetry = _current_telemetry()
+        if telemetry.enabled:
+            telemetry.tracer.record(
+                f"kernel:{self.name}",
+                self._wall0, time.perf_counter() - self._wall0,
+                invocation=len(self.gpu.kernel_stats) - 1,
+                num_threads=self.num_threads,
+                comparisons=stats.total_comparisons,
+                atomics=stats.atomic_ops)

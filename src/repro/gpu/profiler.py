@@ -220,6 +220,12 @@ class RequestMetrics:
     degraded: bool = False
     #: why the degradation happened (empty when not degraded).
     degradation_reason: str = ""
+    #: modeled service-clock instant the request arrived.
+    arrival_s: float = 0.0
+    #: modeled lane occupancy, one entry per shard:
+    #: ``{"lane": int, "start_s": float, "dur_s": float, "shard": int}``
+    #: (lane -1 = host).  Feeds the multi-lane Chrome trace exporter.
+    lane_spans: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """JSON-friendly representation."""
@@ -233,12 +239,20 @@ class RequestMetrics:
             "wall_seconds": float(self.wall_seconds),
             "degraded": bool(self.degraded),
             "degradation_reason": self.degradation_reason,
+            "arrival_s": float(self.arrival_s),
+            "lane_spans": [dict(s) for s in self.lane_spans],
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RequestMetrics":
-        """Inverse of :meth:`to_dict`."""
-        return cls(**{k: payload[k] for k in (
-            "engine", "queue_wait_s", "cache_hit", "engine_build_s",
-            "invocations", "modeled_seconds", "wall_seconds", "degraded",
-            "degradation_reason")})
+        """Inverse of :meth:`to_dict` (the lane fields are optional so
+        pre-telemetry payloads still load)."""
+        return cls(
+            **{k: payload[k] for k in (
+                "engine", "queue_wait_s", "cache_hit", "engine_build_s",
+                "invocations", "modeled_seconds", "wall_seconds",
+                "degraded", "degradation_reason")},
+            arrival_s=float(payload.get("arrival_s", 0.0)),
+            lane_spans=[dict(s)
+                        for s in payload.get("lane_spans", [])],
+        )

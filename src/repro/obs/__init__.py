@@ -1,0 +1,61 @@
+"""Unified telemetry: metrics registry, span tracing, and exporters.
+
+One package observes the whole stack.  The pieces:
+
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
+  behind a :class:`MetricsRegistry` with Prometheus-text and JSON
+  exposition;
+* :mod:`repro.obs.tracing` — a lightweight :class:`Tracer` whose
+  ``start_span`` context managers build a parent/child span tree with
+  wall *and* modeled durations;
+* :mod:`repro.obs.events` — typed, timestamped structured events
+  (JSON-lines) and the slow-query log;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` hub bundling the
+  three, propagated ambiently (``with telemetry.activate(): ...`` /
+  :func:`current`);
+* :mod:`repro.obs.chrome` — Chrome-trace export of a whole service
+  batch across device lanes.
+
+Instrumented layers: :class:`repro.service.QueryService` (requests,
+cache, degradation, slow queries), every engine (search spans, index
+builds, retry/redo loops), and the kernel launcher (one span per
+invocation).  ``QueryService.stats()`` reads the registry, the
+``metrics`` / ``trace`` CLI subcommands export it.
+"""
+
+from .events import Event, EventLog, SlowQuery, SlowQueryLog
+from .metrics import (Counter, DEFAULT_LATENCY_BUCKETS, Gauge, Histogram,
+                      MetricsRegistry)
+from .telemetry import DISABLED, Telemetry, current
+from .tracing import Span, Tracer
+
+# The chrome exporter reads repro.gpu (profiles, cost model), which
+# itself instruments through this package — load it lazily so the
+# telemetry core stays import-cycle-free for the layers it observes.
+_LAZY = {"service_batch_trace", "write_service_trace"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import chrome
+        return getattr(chrome, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DISABLED",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "current",
+    "service_batch_trace",
+    "write_service_trace",
+]

@@ -1,0 +1,181 @@
+"""Structured events: typed, timestamped records plus a slow-query log.
+
+Replaces the service's former bare ``list[dict]`` event trail.  Every
+record is an :class:`Event` — a kind, an epoch timestamp, and a flat
+field dict — held in a bounded :class:`EventLog` that round-trips
+through JSON lines, so a service run leaves a machine-readable audit
+trail (degradations, evictions, retries, slow queries) next to its
+responses.
+
+The :class:`SlowQueryLog` is the operator-facing cut of the same data:
+requests whose modeled latency crossed a configurable threshold, with
+enough context (engine, cache state, queue wait) to triage without
+re-running the workload.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Event", "EventLog", "SlowQueryLog", "SlowQuery"]
+
+
+@dataclass
+class Event:
+    """One structured record: what happened, when, and the details."""
+
+    kind: str
+    ts: float
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"kind": self.kind, "ts": float(self.ts),
+                "fields": dict(self.fields)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Event":
+        """Inverse of :meth:`to_dict`."""
+        return cls(kind=payload["kind"], ts=float(payload["ts"]),
+                   fields=dict(payload.get("fields", {})))
+
+
+class EventLog:
+    """Bounded, append-only sequence of :class:`Event` records."""
+
+    def __init__(self, *, maxlen: int = 10_000,
+                 enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: deque[Event] = deque(maxlen=maxlen)
+
+    def emit(self, kind: str, **fields) -> Event | None:
+        """Record one event now; returns it (None when disabled)."""
+        if not self.enabled:
+            return None
+        event = Event(kind=kind, ts=time.time(), fields=fields)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # -- JSON lines ---------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest first."""
+        return "".join(json.dumps(e.to_dict()) + "\n" for e in self)
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+    @classmethod
+    def from_jsonl(cls, text: str, *, maxlen: int = 10_000
+                   ) -> "EventLog":
+        """Inverse of :meth:`to_jsonl`."""
+        log = cls(maxlen=maxlen)
+        for line in text.splitlines():
+            if line.strip():
+                log._events.append(Event.from_dict(json.loads(line)))
+        return log
+
+
+@dataclass
+class SlowQuery:
+    """One request that crossed the slow-query latency threshold."""
+
+    request_id: str
+    engine: str
+    modeled_seconds: float
+    queue_wait_s: float
+    cache_hit: bool
+    degraded: bool
+    ts: float
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "request_id": self.request_id,
+            "engine": self.engine,
+            "modeled_seconds": float(self.modeled_seconds),
+            "queue_wait_s": float(self.queue_wait_s),
+            "cache_hit": bool(self.cache_hit),
+            "degraded": bool(self.degraded),
+            "ts": float(self.ts),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SlowQuery":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**{k: payload[k] for k in (
+            "request_id", "engine", "modeled_seconds", "queue_wait_s",
+            "cache_hit", "degraded", "ts")})
+
+
+class SlowQueryLog:
+    """Requests slower (modeled) than a configurable threshold."""
+
+    def __init__(self, threshold_s: float = 1.0, *,
+                 maxlen: int = 1000, enabled: bool = True) -> None:
+        if threshold_s < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold_s = float(threshold_s)
+        self.enabled = enabled
+        self._entries: deque[SlowQuery] = deque(maxlen=maxlen)
+
+    def observe(self, *, request_id: str, engine: str,
+                modeled_seconds: float, queue_wait_s: float = 0.0,
+                cache_hit: bool = False, degraded: bool = False
+                ) -> SlowQuery | None:
+        """Record the request iff it crossed the threshold."""
+        if not self.enabled or modeled_seconds < self.threshold_s:
+            return None
+        entry = SlowQuery(request_id=request_id, engine=engine,
+                          modeled_seconds=modeled_seconds,
+                          queue_wait_s=queue_wait_s,
+                          cache_hit=cache_hit, degraded=degraded,
+                          ts=time.time())
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def entries(self) -> list[SlowQuery]:
+        return list(self._entries)
+
+    def render(self) -> str:
+        """Human-readable table, slowest first."""
+        rows = sorted(self._entries, key=lambda e: -e.modeled_seconds)
+        lines = [f"slow queries (modeled >= {self.threshold_s:g} s): "
+                 f"{len(rows)}"]
+        for e in rows:
+            flags = []
+            if e.cache_hit:
+                flags.append("cache-hit")
+            if e.degraded:
+                flags.append("degraded")
+            lines.append(
+                f"  {e.request_id or '-':>12s} {e.engine:18s} "
+                f"modeled {e.modeled_seconds:.6f} s "
+                f"wait {e.queue_wait_s:.6f} s"
+                f"{'  [' + ', '.join(flags) + ']' if flags else ''}")
+        return "\n".join(lines)

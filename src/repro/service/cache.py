@@ -80,10 +80,17 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
 
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups, 0.0 before the first lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     def to_dict(self) -> dict:
         """JSON-friendly representation."""
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+                "evictions": self.evictions,
+                "hit_ratio": self.hit_ratio}
 
 
 class EngineCache:

@@ -41,6 +41,7 @@ from ..engines.config import ConfigError
 from ..gpu.costmodel import CostBreakdown, CpuCostModel, GpuCostModel
 from ..gpu.device import DeviceSpec, TESLA_C2075, VirtualGPU
 from ..gpu.profiler import CpuSearchProfile, RequestMetrics, SearchProfile
+from ..obs import Telemetry
 from .cache import (CacheEntry, EngineCache, canonical_params,
                     database_fingerprint)
 from .requests import SearchRequest, SearchResponse
@@ -143,6 +144,10 @@ class QueryService:
     retry:
         Overflow retry policy installed into every GPU engine the
         service builds (None = the engines' default policy).
+    telemetry:
+        The :class:`~repro.obs.Telemetry` hub the service records
+        into (None = a fresh enabled hub).  Pass
+        ``Telemetry(enabled=False)`` to switch instrumentation off.
     """
 
     FALLBACK_METHOD = "cpu_scan"
@@ -154,7 +159,8 @@ class QueryService:
                  cpu_model: CpuCostModel | None = None,
                  cache_bytes: int | None = None,
                  planner_sample: int = 32,
-                 retry: RetryPolicy | None = None) -> None:
+                 retry: RetryPolicy | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         if len(database) == 0:
             raise ValueError("service needs a non-empty database")
         self.database = database
@@ -168,11 +174,25 @@ class QueryService:
         self.planner_sample = planner_sample
         self.retry = retry
         self.fingerprint = database_fingerprint(database)
-        #: degradation and eviction events, oldest first.
-        self.events: list[dict] = []
+        #: the unified telemetry hub: metrics registry, tracer,
+        #: structured event log, slow-query log.
+        self.telemetry = telemetry or Telemetry()
         self._clock = 0.0
         self._num_requests = 0
+        self._degradations = 0
         self._shard_cache: dict[tuple[str, int], list[SegmentArray]] = {}
+
+    @property
+    def events(self) -> list[dict]:
+        """Degradation and eviction records, oldest first.
+
+        Backed by the structured event log (each entry is a typed,
+        timestamped :class:`~repro.obs.Event`); this view keeps the
+        original ``{"type": ..., ...}`` dict shape.
+        """
+        return [{"type": e.kind, **e.fields}
+                for e in self.telemetry.events
+                if e.kind in ("degradation", "eviction")]
 
     # -- public API ---------------------------------------------------------------
 
@@ -191,14 +211,34 @@ class QueryService:
         what ``queue_wait_s`` reports.
         """
         arrival = self._clock
-        responses = [self._serve(r, arrival) for r in requests]
+        with self.telemetry.activate(), \
+                self.telemetry.span("service.batch",
+                                    batch_size=len(requests)) as span:
+            responses = [self._serve(r, arrival) for r in requests]
+            span.set_modeled(arrival,
+                             self.pool.busiest_until() - arrival)
         self._clock = max(self._clock, self.pool.busiest_until())
         return responses
 
     def stats(self) -> dict:
-        """Service-level counters for dashboards and tests."""
+        """Service-level counters for dashboards and tests.
+
+        With telemetry enabled the request/degradation numbers are read
+        from the metrics registry — the same series the Prometheus
+        exposition and the experiment harness see; plain instance
+        counters are the fallback when telemetry is off.
+        """
+        if self.telemetry.enabled:
+            m = self.telemetry.metrics
+            num_requests = int(
+                m.counter("repro_requests_total").total())
+            degradations = int(
+                m.counter("repro_degradations_total").total())
+        else:
+            num_requests = self._num_requests
+            degradations = self._degradations
         return {
-            "num_requests": self._num_requests,
+            "num_requests": num_requests,
             "cache": self.cache.stats.to_dict(),
             "cached_engines": len(self.cache),
             "cache_resident_bytes": self.cache.resident_bytes,
@@ -206,8 +246,8 @@ class QueryService:
             "clock_s": self._clock,
             "lane_busy_until_s": [lane.busy_until
                                   for lane in self.pool.lanes],
-            "degradations": sum(1 for e in self.events
-                                if e["type"] == "degradation"),
+            "degradations": degradations,
+            "slow_queries": len(self.telemetry.slow_log),
         }
 
     # -- request execution ----------------------------------------------------------
@@ -216,19 +256,64 @@ class QueryService:
                ) -> SearchResponse:
         self._num_requests += 1
         metrics = RequestMetrics()
-        method, params = self._resolve_method(request, metrics)
-        try:
-            runs = self._engines_for(request, method, params, metrics)
-        except ConfigError:
-            raise  # caller error: bad parameters are not degradation
-        except Exception as exc:  # noqa: BLE001 - any build failure degrades
-            if method == self.FALLBACK_METHOD:
-                raise  # the fallback itself failed; nothing left to try
-            self._record_degradation(request, method, exc, metrics)
-            method, params = self.FALLBACK_METHOD, {}
-            runs = self._engines_for(request, method, params, metrics)
-        response = self._execute(request, method, runs, arrival, metrics)
+        metrics.arrival_s = arrival
+        with self.telemetry.span(
+                "service.request", request_id=request.request_id,
+                method=request.method) as span:
+            method, params = self._resolve_method(request, metrics)
+            try:
+                runs = self._engines_for(request, method, params,
+                                         metrics)
+            except ConfigError:
+                raise  # caller error: bad parameters are not degradation
+            except Exception as exc:  # noqa: BLE001 - any build failure degrades
+                if method == self.FALLBACK_METHOD:
+                    raise  # the fallback itself failed; nothing left
+                self._record_degradation(request, method, exc, metrics)
+                method, params = self.FALLBACK_METHOD, {}
+                runs = self._engines_for(request, method, params,
+                                         metrics)
+            response = self._execute(request, method, runs, arrival,
+                                     metrics)
+            span.set_attributes(engine=metrics.engine,
+                                cache_hit=metrics.cache_hit,
+                                degraded=metrics.degraded)
+            span.set_modeled(arrival, metrics.queue_wait_s
+                             + metrics.modeled_seconds)
+        self._finish_request(request, response)
         return response
+
+    def _finish_request(self, request: SearchRequest,
+                        response: SearchResponse) -> None:
+        """Record the per-request metrics, event, and slow-query entry."""
+        m = response.metrics
+        reg = self.telemetry.metrics
+        reg.counter("repro_requests_total",
+                    "requests served").inc(
+            engine=m.engine,
+            status="degraded" if m.degraded else "ok")
+        reg.histogram("repro_request_latency_seconds",
+                      "modeled response time per request").observe(
+            m.modeled_seconds, engine=m.engine)
+        reg.histogram("repro_request_wall_seconds",
+                      "simulator wall time per request").observe(
+            m.wall_seconds, engine=m.engine)
+        reg.histogram("repro_queue_wait_seconds",
+                      "modeled wait for a free device lane").observe(
+            m.queue_wait_s, engine=m.engine)
+        self.telemetry.events.emit(
+            "request", request_id=request.request_id,
+            engine=m.engine, modeled_seconds=m.modeled_seconds,
+            wall_seconds=m.wall_seconds, queue_wait_s=m.queue_wait_s,
+            cache_hit=m.cache_hit, degraded=m.degraded,
+            results=len(response.outcome.results))
+        slow = self.telemetry.slow_log.observe(
+            request_id=request.request_id, engine=m.engine,
+            modeled_seconds=m.modeled_seconds,
+            queue_wait_s=m.queue_wait_s, cache_hit=m.cache_hit,
+            degraded=m.degraded)
+        if slow is not None:
+            self.telemetry.events.emit("slow_query", **slow.to_dict())
 
     def _resolve_method(self, request: SearchRequest,
                         metrics: RequestMetrics) -> tuple[str, dict]:
@@ -242,10 +327,14 @@ class QueryService:
         hints = {k: v for k, v in request.params.items()
                  if k in _PLANNER_HINTS}
         try:
-            plans = plan_search(self.database, request.queries, request.d,
-                                sample=self.planner_sample,
-                                gpu_model=self.gpu_model,
-                                cpu_model=self.cpu_model, **hints)
+            with self.telemetry.span("service.plan",
+                                     sample=self.planner_sample) as sp:
+                plans = plan_search(self.database, request.queries,
+                                    request.d,
+                                    sample=self.planner_sample,
+                                    gpu_model=self.gpu_model,
+                                    cpu_model=self.cpu_model, **hints)
+                sp.set_attribute("winner", plans[0].engine)
         except Exception as exc:  # noqa: BLE001 - degrade, don't fail
             self._record_degradation(request, "auto", exc, metrics)
             return self.FALLBACK_METHOD, {}
@@ -301,22 +390,30 @@ class QueryService:
         else:
             cfg = None
             key = (db_key, method, canonical_params(params))
+        reg = self.telemetry.metrics
         entry = self.cache.get(key)
         if entry is not None:
+            reg.counter("repro_cache_hits_total",
+                        "engine-cache hits").inc(engine=method)
             return entry, True
+        reg.counter("repro_cache_misses_total",
+                    "engine-cache misses").inc(engine=method)
 
         build0 = time.perf_counter()
-        is_gpu = issubclass(cls, GpuEngineBase)
-        gpu = VirtualGPU(self.pool.spec) if is_gpu else None
-        if cfg is not None:
-            engine = cls.from_config(database, cfg, gpu=gpu)
-        else:
-            engine = cls.from_config(database, gpu=gpu, **params)
-        if is_gpu and self.retry is not None:
-            engine.retry = self.retry
+        with self.telemetry.span("engine.build", engine=method) as sp:
+            is_gpu = issubclass(cls, GpuEngineBase)
+            gpu = VirtualGPU(self.pool.spec) if is_gpu else None
+            if cfg is not None:
+                engine = cls.from_config(database, cfg, gpu=gpu)
+            else:
+                engine = cls.from_config(database, gpu=gpu, **params)
+            if is_gpu and self.retry is not None:
+                engine.retry = self.retry
+            nbytes = (gpu.memory.allocated_bytes if gpu is not None
+                      else 0)
+            sp.set_attribute("nbytes", nbytes)
         build_s = time.perf_counter() - build0
 
-        nbytes = gpu.memory.allocated_bytes if gpu is not None else 0
         lane = (self.pool.home_for(nbytes).index if is_gpu
                 else DevicePool.HOST_LANE)
         entry = CacheEntry(key=key, engine=engine, gpu=gpu, lane=lane,
@@ -324,30 +421,49 @@ class QueryService:
         self.pool.place(lane, nbytes)
         self.cache.put(entry)
         metrics.engine_build_s += build_s
+        reg.histogram("repro_engine_build_seconds",
+                      "engine+index build wall seconds").observe(
+            build_s, engine=method)
+        self.telemetry.events.emit(
+            "engine_build", engine=method, lane=lane, nbytes=nbytes,
+            build_wall_s=build_s)
         return entry, False
 
     def _execute(self, request: SearchRequest, method: str,
                  entries: list[CacheEntry], arrival: float,
                  metrics: RequestMetrics) -> SearchResponse:
         runs: list[_ShardRun] = []
-        for entry in entries:
-            results, profile = entry.engine.search(
-                request.queries, request.d,
-                exclude_same_trajectory=request.exclude_same_trajectory)
-            if isinstance(profile, CpuSearchProfile):
-                modeled = profile.modeled_time(self.cpu_model)
-            else:
-                modeled = profile.modeled_time(self.gpu_model)
-            runs.append(_ShardRun(entry, results, profile, modeled))
+        with self.telemetry.span("service.execute",
+                                 shards=len(entries)) as exec_span:
+            for entry in entries:
+                results, profile = entry.engine.search(
+                    request.queries, request.d,
+                    exclude_same_trajectory=request
+                    .exclude_same_trajectory)
+                if isinstance(profile, CpuSearchProfile):
+                    modeled = profile.modeled_time(self.cpu_model)
+                else:
+                    modeled = profile.modeled_time(self.gpu_model)
+                runs.append(_ShardRun(entry, results, profile, modeled))
 
         # Lane occupancy: each shard queues on its engine's home lane;
         # shards on distinct lanes overlap in modeled time.
         latest_start = arrival
-        for run in runs:
+        for i, run in enumerate(runs):
             lane = self.pool.lane(run.entry.lane)
             start = max(arrival, lane.busy_until)
             lane.busy_until = start + run.modeled.total
             latest_start = max(latest_start, start)
+            metrics.lane_spans.append({
+                "lane": run.entry.lane, "start_s": start,
+                "dur_s": run.modeled.total, "shard": i,
+            })
+            # Each shard's search produced one engine.search child
+            # span; now that the lane schedule priced it, pin it to
+            # the modeled timeline.
+            if i < len(exec_span.children):
+                exec_span.children[i].set_modeled(
+                    start, run.modeled.total)
 
         outcome = self._merge_outcome(method, runs)
         metrics.engine = method
@@ -416,19 +532,27 @@ class QueryService:
         reason = f"{method}: {type(exc).__name__}: {exc}"
         metrics.degraded = True
         metrics.degradation_reason = reason
-        self.events.append({
-            "type": "degradation",
-            "request_id": request.request_id,
-            "method": method,
-            "fallback": self.FALLBACK_METHOD,
-            "reason": reason,
-        })
+        self._degradations += 1
+        self.telemetry.metrics.counter(
+            "repro_degradations_total",
+            "requests degraded to the fallback engine").inc(
+            from_method=method)
+        self.telemetry.events.emit(
+            "degradation",
+            request_id=request.request_id,
+            method=method,
+            fallback=self.FALLBACK_METHOD,
+            reason=reason,
+        )
 
     def _on_evict(self, entry: CacheEntry) -> None:
         self.pool.release(entry.lane, entry.nbytes)
-        self.events.append({
-            "type": "eviction",
-            "method": entry.key[1],
-            "nbytes": entry.nbytes,
-            "lane": entry.lane,
-        })
+        self.telemetry.metrics.counter(
+            "repro_cache_evictions_total",
+            "engine-cache evictions").inc(engine=entry.key[1])
+        self.telemetry.events.emit(
+            "eviction",
+            method=entry.key[1],
+            nbytes=entry.nbytes,
+            lane=entry.lane,
+        )

@@ -1,4 +1,5 @@
-"""Tests for the extended CLI commands (plan/stats/report/verify/trace)."""
+"""Tests for the extended CLI commands (plan/stats/report/verify/trace
+plus the telemetry exports: metrics, trace)."""
 
 import json
 
@@ -62,6 +63,48 @@ class TestVerifyAndTrace:
                      "--trace", str(trace)]) == 0
         assert "skipped" in capsys.readouterr().out
         assert not trace.exists()
+
+
+class TestTelemetryCommands:
+    def test_metrics_prometheus(self, db_path, capsys):
+        assert main(["metrics", db_path, "--d", "0.05",
+                     "--batches", "2", "--method", "gpu_temporal",
+                     "--num-bins", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_request_latency_seconds_bucket" in out
+        assert "repro_cache_hits_total" in out
+        assert "repro_cache_misses_total" in out
+
+    def test_metrics_json_to_file(self, db_path, tmp_path, capsys):
+        out_path = tmp_path / "metrics.json"
+        assert main(["metrics", db_path, "--d", "0.05",
+                     "--batches", "1", "--format", "json",
+                     "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["repro_requests_total"]["type"] == "counter"
+
+    def test_metrics_requires_d(self, db_path, capsys):
+        assert main(["metrics", db_path]) == 2
+        assert "--d is required" in capsys.readouterr().err
+
+    def test_trace_writes_all_artifacts(self, db_path, tmp_path,
+                                        capsys):
+        trace = tmp_path / "trace.json"
+        spans = tmp_path / "spans.json"
+        events = tmp_path / "events.jsonl"
+        assert main(["trace", db_path, "--d", "0.05",
+                     "--batches", "2", "--num-devices", "2",
+                     "--method", "gpu_temporal", "--num-bins", "50",
+                     "--out", str(trace), "--spans", str(spans),
+                     "--events", str(events),
+                     "--slow-ms", "0.0001"]) == 0
+        payload = json.loads(trace.read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+        roots = json.loads(spans.read_text())
+        assert roots[0]["name"] == "service.batch"
+        assert any(json.loads(line)["kind"] == "request"
+                   for line in events.read_text().splitlines())
+        assert "slow queries" in capsys.readouterr().out
 
 
 class TestReport:

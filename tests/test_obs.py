@@ -1,0 +1,270 @@
+"""Unit tests for the repro.obs telemetry layer: metrics registry,
+span tracer, structured events, slow-query log, and the disabled
+no-op behavior."""
+
+import json
+
+import pytest
+
+from repro.obs import (DEFAULT_LATENCY_BUCKETS, Event, EventLog,
+                       MetricsRegistry, SlowQueryLog, Span, Telemetry,
+                       Tracer)
+from repro.obs.telemetry import DISABLED, current
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "served requests")
+        c.inc()
+        c.inc(2.0)
+        assert c.value() == 3.0
+        assert c.total() == 3.0
+
+    def test_labels_make_distinct_series(self):
+        c = MetricsRegistry().counter("hits")
+        c.inc(engine="gpu_temporal")
+        c.inc(engine="gpu_temporal")
+        c.inc(engine="cpu_scan")
+        assert c.value(engine="gpu_temporal") == 2.0
+        assert c.value(engine="cpu_scan") == 1.0
+        assert c.total() == 3.0
+
+    def test_counters_only_go_up(self):
+        c = MetricsRegistry().counter("n")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        g = MetricsRegistry().gauge("resident_bytes")
+        g.set(100.0)
+        g.add(-25.0)
+        assert g.value() == 75.0
+        g.set(10.0, lane="0")
+        assert g.value(lane="0") == 10.0
+
+
+class TestHistogram:
+    def test_buckets_are_exponential_and_increasing(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+        ratios = [b / a for a, b in zip(DEFAULT_LATENCY_BUCKETS,
+                                        DEFAULT_LATENCY_BUCKETS[1:])]
+        assert all(r == pytest.approx(4.0) for r in ratios)
+
+    def test_observe_counts_and_sum(self):
+        h = MetricsRegistry().histogram("latency")
+        h.observe(2e-6)
+        h.observe(3e-6)
+        h.observe(100.0)  # beyond the last bound -> +Inf bucket
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(2e-6 + 3e-6 + 100.0)
+        cum = h.cumulative_counts()
+        assert cum[-1] == 3              # +Inf sees everything
+        assert cum[-2] == 2              # finite bounds miss the 100 s
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs", "requests served").inc(3, engine="cpu_scan")
+        reg.gauge("bytes").set(42.0)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        text = reg.to_prometheus_text()
+        assert "# HELP reqs requests served" in text
+        assert "# TYPE reqs counter" in text
+        assert 'reqs{engine="cpu_scan"} 3' in text
+        assert "# TYPE bytes gauge" in text
+        assert "bytes 42" in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="0.1"} 0' in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 0.5" in text
+        assert "lat_count 1" in text
+
+    def test_snapshot_restore_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help c").inc(5, k="v")
+        reg.gauge("g").set(-1.5)
+        h = reg.histogram("h", buckets=(0.5, 2.0))
+        h.observe(0.1, engine="e")
+        h.observe(10.0, engine="e")
+        payload = json.loads(json.dumps(reg.snapshot()))
+        back = MetricsRegistry.restore(payload)
+        assert back.snapshot() == reg.snapshot()
+        assert back.to_prometheus_text() == reg.to_prometheus_text()
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc(99)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(1.0)
+        assert reg.counter("c").total() == 0.0
+        assert reg.gauge("g").value() == 0.0
+        assert reg.histogram("h").count() == 0
+
+
+class TestTracer:
+    def test_nesting_builds_parent_child_links(self):
+        tr = Tracer()
+        with tr.start_span("root", a=1) as root:
+            with tr.start_span("child") as child:
+                tr.record("leaf", 0.0, 0.5, k=2)
+                assert tr.current_span is child
+        assert tr.roots == [root]
+        assert root.children == [child]
+        assert child.children[0].name == "leaf"
+        assert child.children[0].wall_dur_s == 0.5
+        assert root.wall_dur_s >= child.wall_dur_s
+
+    def test_walk_and_find(self):
+        tr = Tracer()
+        with tr.start_span("a"):
+            with tr.start_span("b"):
+                pass
+            with tr.start_span("c"):
+                pass
+        root = tr.roots[0]
+        assert [s.name for s in root.walk()] == ["a", "b", "c"]
+        assert root.find("c").name == "c"
+        assert root.find("missing") is None
+
+    def test_span_dict_round_trip(self):
+        tr = Tracer()
+        with tr.start_span("root", engine="gpu_temporal") as root:
+            with tr.start_span("inner") as inner:
+                inner.set_modeled(0.25, 1.5)
+        back = Span.from_dict(json.loads(json.dumps(root.to_dict())))
+        assert back.to_dict() == root.to_dict()
+        assert back.children[0].modeled_start_s == 0.25
+        assert back.children[0].modeled_dur_s == 1.5
+        assert back.attributes == {"engine": "gpu_temporal"}
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        with tr.start_span("root") as span:
+            span.set_attribute("k", "v")
+            span.set_modeled(0.0, 1.0)
+            tr.record("leaf", 0.0, 1.0)
+        assert tr.roots == []
+        assert span.attributes == {}
+        assert span.modeled_start_s is None
+
+
+class TestEvents:
+    def test_jsonl_round_trip(self):
+        log = EventLog()
+        log.emit("degradation", request_id="r1", fallback="cpu_scan")
+        log.emit("eviction", nbytes=1024)
+        text = log.to_jsonl()
+        assert len(text.splitlines()) == 2
+        back = EventLog.from_jsonl(text)
+        assert [e.to_dict() for e in back] == [e.to_dict() for e in log]
+        assert back.of_kind("eviction")[0].fields["nbytes"] == 1024
+
+    def test_write_jsonl(self, tmp_path):
+        log = EventLog()
+        log.emit("request", engine="cpu_scan")
+        path = log.write_jsonl(tmp_path / "events.jsonl")
+        back = EventLog.from_jsonl(path.read_text())
+        assert len(back) == 1
+
+    def test_bounded(self):
+        log = EventLog(maxlen=3)
+        for i in range(5):
+            log.emit("e", i=i)
+        assert len(log) == 3
+        assert [e.fields["i"] for e in log] == [2, 3, 4]
+
+    def test_event_dict_round_trip(self):
+        ev = Event(kind="retry", ts=12.5, fields={"attempt": 2})
+        assert Event.from_dict(json.loads(
+            json.dumps(ev.to_dict()))).to_dict() == ev.to_dict()
+
+    def test_disabled_log_emits_nothing(self):
+        log = EventLog(enabled=False)
+        assert log.emit("x") is None
+        assert len(log) == 0
+
+
+class TestSlowQueryLog:
+    def test_threshold_gates_entries(self):
+        log = SlowQueryLog(threshold_s=1.0)
+        assert log.observe(request_id="fast", engine="gpu_temporal",
+                           modeled_seconds=0.5) is None
+        entry = log.observe(request_id="slow", engine="cpu_scan",
+                            modeled_seconds=2.0, queue_wait_s=0.1,
+                            degraded=True)
+        assert entry is not None
+        assert len(log) == 1
+        assert log.entries()[0].request_id == "slow"
+
+    def test_render_mentions_entries(self):
+        log = SlowQueryLog(threshold_s=0.0)
+        log.observe(request_id="r9", engine="cpu_rtree",
+                    modeled_seconds=3.0, cache_hit=True)
+        text = log.render()
+        assert "r9" in text and "cpu_rtree" in text
+        assert "cache-hit" in text
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_s=-1.0)
+
+
+class TestTelemetryHub:
+    def test_ambient_activation(self):
+        hub = Telemetry()
+        assert current() is DISABLED
+        with hub.activate():
+            assert current() is hub
+            with hub.span("work") as span:
+                current().metrics.counter("c").inc()
+                current().events.emit("e")
+            assert span.name == "work"
+        assert current() is DISABLED
+        assert hub.metrics.counter("c").total() == 1.0
+        assert len(hub.events) == 1
+        assert hub.tracer.roots[0].name == "work"
+
+    def test_disabled_hub_is_inert(self):
+        hub = Telemetry(enabled=False)
+        with hub.activate():
+            with hub.span("work"):
+                current().metrics.counter("c").inc()
+                current().events.emit("e")
+                current().slow_log.observe(
+                    request_id="r", engine="e", modeled_seconds=99.0)
+        assert hub.metrics.counter("c").total() == 0.0
+        assert len(hub.events) == 0
+        assert len(hub.slow_log) == 0
+        assert hub.tracer.roots == []
+
+    def test_reset_drops_data_keeps_switch(self):
+        hub = Telemetry()
+        with hub.activate(), hub.span("s"):
+            hub.metrics.counter("c").inc()
+            hub.events.emit("e")
+        hub.reset()
+        assert hub.tracer.roots == []
+        assert len(hub.events) == 0
+        assert hub.metrics.counter("c").total() == 0.0
+        assert hub.enabled

@@ -85,6 +85,9 @@ class TestCaching:
         assert r2.metrics.engine_build_s == 0
         assert service.cache.stats.hits == 1
         assert service.cache.stats.misses == 1
+        assert service.cache.stats.hit_ratio == pytest.approx(0.5)
+        assert service.stats()["cache"]["hit_ratio"] \
+            == pytest.approx(0.5)
 
     def test_default_filling_makes_keys_stable(self, service,
                                                small_queries):
@@ -124,6 +127,11 @@ class TestCaching:
         assert lane_bytes == svc2.cache.resident_bytes
         assert any(e["type"] == "eviction" for e in svc2.events)
         assert one.outcome.results is not None
+
+    def test_hit_ratio_defined_before_first_lookup(self):
+        cache = EngineCache(budget_bytes=10)
+        assert cache.stats.hit_ratio == 0.0
+        assert cache.stats.to_dict()["hit_ratio"] == 0.0
 
     def test_oversized_engine_rejected_by_cache(self):
         cache = EngineCache(budget_bytes=10)

@@ -19,6 +19,8 @@ stats      index-statistics report for a dataset
 figures    regenerate the paper's figures (series tables) at a scale
 report     assemble results/ artifacts into results/REPORT.md
 calibrate  re-fit and verify the cost-model constants
+chaos      run a seeded fault-injection campaign against the query
+           service and print the survival report
 
 Examples
 --------
@@ -32,6 +34,7 @@ python -m repro metrics merger.npz --d 1.5 --batches 8
 python -m repro trace merger.npz --d 1.5 --num-devices 2 \\
     --out trace.json --spans spans.json --events events.jsonl
 python -m repro figures fig5 --scale 0.01
+python -m repro chaos --seed 7 --requests 200 --rate 0.15
 """
 
 from __future__ import annotations
@@ -140,6 +143,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("calibrate",
                    help="re-fit and verify cost-model constants")
+
+    p = sub.add_parser(
+        "chaos", help="run a seeded fault-injection campaign and "
+                      "print the survival report")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed: dataset, request schedule, and "
+                        "fault activations all derive from it")
+    p.add_argument("--requests", type=int, default=200,
+                   help="requests to drive through the service "
+                        "(default 200)")
+    p.add_argument("--rate", type=float, default=0.15,
+                   help="base per-operation fault activation rate "
+                        "(default 0.15)")
+    p.add_argument("--num-devices", type=int, default=2,
+                   help="size of the simulated GPU pool (default 2)")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="requests per submitted batch (default 8)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON instead of the "
+                        "rendered summary")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="write the structured telemetry event log as "
+                        "JSON lines")
     return parser
 
 
@@ -339,6 +365,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
         return 2
     for resp in responses:
         m = resp.metrics
+        if not resp.ok:
+            print(f"{resp.request_id or '-':>10s}  "
+                  f"{'rejected: ' + resp.status:18s} "
+                  f"{'-':>6s} results  wait {m.queue_wait_s:.6f} s")
+            continue
         flags = []
         if m.cache_hit:
             flags.append("cache-hit")
@@ -522,6 +553,29 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults import CampaignConfig, run_campaign
+    from .obs import Telemetry
+
+    telemetry = Telemetry() if args.events else None
+    cfg = CampaignConfig(seed=args.seed, num_requests=args.requests,
+                         injection_rate=args.rate,
+                         num_devices=args.num_devices,
+                         batch_size=args.batch_size)
+    report = run_campaign(cfg, telemetry=telemetry)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.events:
+        telemetry.events.write_jsonl(args.events)
+        print(f"event log written to {args.events} "
+              f"({len(telemetry.events)} events)")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -537,6 +591,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "figures": cmd_figures,
         "calibrate": cmd_calibrate,
+        "chaos": cmd_chaos,
     }[args.command]
     return handler(args)
 

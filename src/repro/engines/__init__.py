@@ -1,9 +1,10 @@
 """Search engines: the paper's three GPU schemes, the CPU baseline, and
 the future-work hybrid — plus their typed configs and retry policy."""
 
-from .base import (GpuEngineBase, KernelInvocationLimitError, NO_RETRY,
-                   RangeBatch, ResultBufferOverflowError, RetryPolicy,
-                   SearchEngine)
+from .base import (Deadline, DeadlineExceededError, GpuEngineBase,
+                   KernelInvocationLimitError, NO_RETRY, RangeBatch,
+                   ResultBufferOverflowError, RetryPolicy, SearchEngine,
+                   current_deadline, deadline_scope)
 from .config import (CONFIG_REGISTRY, ConfigError, CpuRTreeConfig,
                      CpuScanConfig, EngineConfig, GpuSpatialConfig,
                      GpuSpatioTemporalConfig, GpuTemporalConfig,
@@ -17,10 +18,12 @@ from .hybrid import HybridEngine, HybridProfile
 
 __all__ = [
     "CONFIG_REGISTRY", "ConfigError", "CpuRTreeConfig", "CpuRTreeEngine",
-    "CpuScanConfig", "CpuScanEngine", "EngineConfig", "GpuEngineBase",
+    "CpuScanConfig", "CpuScanEngine", "Deadline",
+    "DeadlineExceededError", "EngineConfig", "GpuEngineBase",
     "GpuSpatialConfig", "GpuSpatialEngine", "GpuSpatioTemporalConfig",
     "GpuSpatioTemporalEngine", "GpuTemporalConfig", "GpuTemporalEngine",
     "HybridEngine", "HybridProfile", "KernelInvocationLimitError",
     "NO_RETRY", "RangeBatch", "ResultBufferOverflowError", "RetryPolicy",
-    "SearchEngine", "config_for", "tune_segments_per_mbb",
+    "SearchEngine", "config_for", "current_deadline", "deadline_scope",
+    "tune_segments_per_mbb",
 ]

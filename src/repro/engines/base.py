@@ -22,8 +22,10 @@ re-processed query never double-reports.
 from __future__ import annotations
 
 import abc
+import random
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,8 +41,9 @@ from .config import EngineConfig
 
 __all__ = ["SearchEngine", "GpuEngineBase", "NO_RETRY", "RangeBatch",
            "RetryPolicy", "ResultBufferOverflowError",
-           "KernelInvocationLimitError", "refine_ranges",
-           "first_fit_accept", "index_build_phase"]
+           "KernelInvocationLimitError", "Deadline",
+           "DeadlineExceededError", "current_deadline", "deadline_scope",
+           "refine_ranges", "first_fit_accept", "index_build_phase"]
 
 
 @contextmanager
@@ -96,6 +99,59 @@ class KernelInvocationLimitError(RuntimeError):
         self.required_items = int(required_items)
 
 
+class DeadlineExceededError(RuntimeError):
+    """A request's deadline budget ran out before the work completed."""
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A wall-clock budget propagated from the service into retry loops.
+
+    The service opens a :func:`deadline_scope` around a request; any
+    retry loop underneath consults :func:`current_deadline` instead of
+    keeping a private wall deadline, so one request-level budget bounds
+    the whole ladder of attempts (engine retries *and* failover hops).
+    """
+
+    expires_at: float  # time.monotonic() instant
+
+    @classmethod
+    def after(cls, budget_s: float) -> "Deadline":
+        return cls(time.monotonic() + budget_s)
+
+    def remaining_s(self) -> float:
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0.0
+
+    def check(self, what: str = "operation") -> None:
+        if self.expired:
+            raise DeadlineExceededError(
+                f"deadline exceeded before {what}")
+
+
+#: ambient request deadline; None means "no budget in force".
+_DEADLINE: ContextVar[Deadline | None] = ContextVar(
+    "repro_request_deadline", default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient request :class:`Deadline`, if one is in force."""
+    return _DEADLINE.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None):
+    """Make ``deadline`` the ambient budget for the enclosed block."""
+    token = _DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _DEADLINE.reset(token)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded-retry policy for the incremental overflow loop.
@@ -107,12 +163,29 @@ class RetryPolicy:
     query's required size) and retries — instead of looping all the way to
     ``MAX_KERNEL_INVOCATIONS`` or failing a request a larger buffer would
     serve.  Retries stop after ``max_attempts`` total attempts or once
-    ``deadline_s`` wall seconds have elapsed, whichever comes first.
+    the deadline budget is exhausted — the ambient request
+    :class:`Deadline` when the service set one, else ``deadline_s`` wall
+    seconds from the first attempt.
+
+    ``backoff_s`` > 0 spaces retries with exponential backoff plus
+    deterministic jitter on the *modeled* clock: no real sleeping
+    happens (retrying a simulated device is instant), but the wait is
+    charged to the profile's ``backoff_s`` so modeled response time and
+    lane occupancy reflect it — replacing the previous sleep-free busy
+    re-invocation that under-reported retry cost.
     """
 
     max_attempts: int = 4
     growth_factor: float = 4.0
     deadline_s: float = 60.0
+    #: base modeled backoff before the second attempt; doubles per
+    #: retry.  0.0 = immediate re-invocation (the historical behavior).
+    backoff_s: float = 0.0
+    #: jitter fraction in [0, 1]: attempt n waits
+    #: ``backoff_s * 2**(n-1) * (1 + jitter * u_n)`` with ``u_n`` a
+    #: deterministic uniform draw — reproducible, but desynchronized
+    #: across concurrent retriers like real jitter.
+    jitter: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -121,6 +194,19 @@ class RetryPolicy:
             raise ValueError("growth_factor must be > 1")
         if self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must be within [0, 1]")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Modeled seconds to wait after failed attempt ``attempt``
+        (1-based).  Deterministic: same attempt number, same wait."""
+        if self.backoff_s <= 0.0:
+            return 0.0
+        u = random.Random(attempt).random()
+        return self.backoff_s * 2.0 ** (attempt - 1) \
+            * (1.0 + self.jitter * u)
 
 
 #: retry disabled: one attempt, errors surface immediately.
@@ -311,8 +397,18 @@ class GpuEngineBase(SearchEngine):
         telemetry = current_telemetry()
         with telemetry.span("engine.search", engine=self.name,
                             num_queries=len(queries)) as span:
-            deadline = time.monotonic() + self.retry.deadline_s
+            # The retry budget: the ambient request deadline when the
+            # service set one, else this engine's standalone wall
+            # deadline.
+            deadline = current_deadline() \
+                or Deadline.after(self.retry.deadline_s)
+            backoff_total = 0.0
             for attempt in range(1, self.retry.max_attempts + 1):
+                # A faulted prior attempt may have left items in the
+                # device result buffer; a fresh attempt must not
+                # republish them.
+                if self.result_buffer.size:
+                    self.result_buffer.drain()
                 try:
                     results, profile = self._search_once(
                         queries, d,
@@ -320,12 +416,13 @@ class GpuEngineBase(SearchEngine):
                 except (ResultBufferOverflowError,
                         KernelInvocationLimitError) as exc:
                     if (attempt >= self.retry.max_attempts
-                            or time.monotonic() >= deadline):
+                            or deadline.expired):
                         raise
                     target = max(
                         int(self.result_buffer.capacity_items
                             * self.retry.growth_factor),
                         exc.required_items)
+                    backoff_total += self.retry.backoff_for(attempt)
                     telemetry.metrics.counter(
                         "repro_search_retries_total",
                         "result-buffer overflow retries").inc(
@@ -333,9 +430,12 @@ class GpuEngineBase(SearchEngine):
                     telemetry.events.emit(
                         "search_retry", engine=self.name,
                         attempt=attempt, target_items=target,
+                        backoff_s=backoff_total,
                         error=type(exc).__name__)
                     self.grow_result_buffer(target)
                 else:
+                    profile.attempts = attempt
+                    profile.backoff_s = backoff_total
                     span.set_attributes(
                         attempts=attempt,
                         invocations=profile.num_kernel_invocations,

@@ -1,0 +1,29 @@
+"""Deterministic fault injection and chaos campaigns.
+
+:mod:`repro.faults.injector` supplies the failures — a seed-driven
+:class:`FaultInjector` threaded through the virtual GPU stack so device
+OOM, transfer faults, kernel aborts/stalls, and lane blackouts can be
+injected at exact, replayable operations.  :mod:`repro.faults.campaign`
+drives a fault-injected :class:`~repro.service.QueryService` through a
+seeded request storm and verifies that every response is either correct
+or a typed rejection — the survival report behind the ``chaos`` CLI
+subcommand and the CI chaos job.
+"""
+
+from .campaign import CampaignConfig, CampaignReport, run_campaign
+from .injector import (FAULT_KINDS, FaultInjector, FaultSpec,
+                       InjectedFault, KernelAbortError,
+                       LaneBlackoutError, TransferFault)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "KernelAbortError",
+    "LaneBlackoutError",
+    "TransferFault",
+    "run_campaign",
+]

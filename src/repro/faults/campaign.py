@@ -1,0 +1,306 @@
+"""Seeded chaos campaigns: a fault-injected service under a request storm.
+
+A campaign builds a small deterministic trajectory database, wires a
+:class:`~repro.faults.injector.FaultInjector` covering every fault kind
+into a :class:`~repro.service.QueryService`, and drives a few hundred
+requests through it in batches — cycling engines, sprinkling impossible
+deadlines, and periodically "swapping the card" (reviving blacked-out
+lanes) so quarantine → probation → re-admission actually happens.
+
+Every successful response is verified against ``cpu_scan`` ground truth
+computed on the un-faulted database: *exact* result equality, plus a
+no-internal-duplicates check.  The produced :class:`CampaignReport` is
+the survival report the ``chaos`` CLI prints and the CI chaos job
+asserts on; because the injector, the dataset, and the request schedule
+are all seed-driven, the same seed reproduces the same report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.result import ResultSet
+from ..core.types import SegmentArray, Trajectory
+from ..engines.base import RetryPolicy
+from ..engines.cpu_scan import CpuScanEngine
+from ..obs import Telemetry
+from ..service import QueryService, SearchRequest
+from .injector import FaultInjector, FaultSpec
+
+__all__ = ["CampaignConfig", "CampaignReport", "run_campaign"]
+
+
+def _walk_db(num_traj: int, steps: int, *, seed: int,
+             id_offset: int = 0, box: float = 20.0) -> SegmentArray:
+    """Small random-walk trajectories with staggered start times."""
+    rng = np.random.default_rng(seed)
+    trajs = []
+    for k in range(num_traj):
+        start = rng.uniform(0.0, box, size=3)
+        steps_v = rng.normal(0.0, 1.0, size=(steps - 1, 3))
+        pos = np.vstack([start, start + np.cumsum(steps_v, axis=0)])
+        t0 = rng.uniform(0.0, 5.0)
+        times = t0 + np.arange(steps, dtype=np.float64)
+        trajs.append(Trajectory(id_offset + k, times, pos))
+    return SegmentArray.from_trajectories(trajs)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of one chaos campaign; everything derives from ``seed``."""
+
+    seed: int = 0
+    num_requests: int = 200
+    batch_size: int = 8
+    num_devices: int = 2
+    #: database size: trajectories x timesteps of random walk.
+    num_trajectories: int = 20
+    steps: int = 12
+    #: distinct query sets cycled over the requests.
+    num_query_sets: int = 8
+    queries_per_set: int = 3
+    d: float = 2.5
+    #: per-eligible-operation activation rate of each fault spec.
+    injection_rate: float = 0.15
+    methods: tuple[str, ...] = ("gpu_temporal", "gpu_spatiotemporal",
+                                "gpu_spatial", "cpu_rtree", "auto")
+    #: every Nth request carries an impossible deadline (0 = never).
+    deadline_every: int = 29
+    #: every Nth request, revive blacked-out lanes (0 = never) — the
+    #: "operator swapped the card" step that lets probation run.
+    revive_every: int = 25
+    #: every Nth GPU request uses a tiny result buffer, forcing the
+    #: overflow retry/backoff path (0 = never).
+    small_buffer_every: int = 4
+    #: queue-pressure shedding limit handed to the service (None = off).
+    max_queue_delay_s: float | None = None
+    #: service recovery tuning, sized to the campaign's modeled scale
+    #: (a whole campaign advances the modeled clock by only a few
+    #: milliseconds, so windows are tens of microseconds).
+    lane_quarantine_s: float = 2e-5
+    breaker_reset_s: float = 1e-5
+    crosscheck_every: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not (0.0 <= self.injection_rate <= 1.0):
+            raise ValueError("injection_rate must be within [0, 1]")
+
+    def fault_specs(self) -> list[FaultSpec]:
+        """One spec per fault kind, rates scaled off ``injection_rate``.
+
+        Blackouts are catastrophic, so they fire at a tenth of the base
+        rate and at most twice per campaign — enough to exercise
+        quarantine and revival without denying all GPU service."""
+        r = self.injection_rate
+        return [
+            # Allocations happen ~5x per build: halve the rate so some
+            # engines actually get built and run kernels.
+            FaultSpec(kind="oom", rate=r / 2.0),
+            FaultSpec(kind="h2d", rate=r),
+            FaultSpec(kind="d2h", rate=r),
+            FaultSpec(kind="kernel_abort", rate=r),
+            # Kernels only run once a build survived and the query
+            # upload went through, so kernel ops are scarce; a high
+            # stall rate keeps the one non-raising kind represented.
+            FaultSpec(kind="kernel_stall", rate=min(4.0 * r, 1.0),
+                      stall_factor=6.0),
+            FaultSpec(kind="lane_blackout", rate=max(r / 5.0, 0.001),
+                      count=2),
+        ]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "seed": self.seed, "num_requests": self.num_requests,
+            "batch_size": self.batch_size,
+            "num_devices": self.num_devices,
+            "num_trajectories": self.num_trajectories,
+            "steps": self.steps,
+            "num_query_sets": self.num_query_sets,
+            "queries_per_set": self.queries_per_set, "d": self.d,
+            "injection_rate": self.injection_rate,
+            "methods": list(self.methods),
+            "deadline_every": self.deadline_every,
+            "revive_every": self.revive_every,
+            "small_buffer_every": self.small_buffer_every,
+            "max_queue_delay_s": self.max_queue_delay_s,
+            "lane_quarantine_s": self.lane_quarantine_s,
+            "breaker_reset_s": self.breaker_reset_s,
+            "crosscheck_every": self.crosscheck_every,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Survival report of one campaign."""
+
+    config: dict
+    #: responses by disposition: ok / degraded / overloaded /
+    #: deadline_exceeded.
+    outcomes: dict = field(default_factory=dict)
+    #: ok+degraded responses whose results matched ground truth exactly.
+    verified: int = 0
+    #: request ids whose results disagreed with ground truth.
+    mismatches: list = field(default_factory=list)
+    #: total failover hops walked across all requests.
+    failover_hops: int = 0
+    injector: dict = field(default_factory=dict)
+    service: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.outcomes.values())
+
+    @property
+    def answered(self) -> int:
+        """Responses that carried results (ok or degraded)."""
+        return (self.outcomes.get("ok", 0)
+                + self.outcomes.get("degraded", 0))
+
+    @property
+    def ok(self) -> bool:
+        """Did the service survive: every answered request verified
+        exact, every non-answer a typed rejection (by construction),
+        nothing lost."""
+        return (not self.mismatches
+                and self.verified == self.answered
+                and self.total == self.config["num_requests"])
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "config": self.config, "outcomes": dict(self.outcomes),
+            "verified": self.verified,
+            "mismatches": list(self.mismatches),
+            "failover_hops": self.failover_hops,
+            "injector": self.injector, "service": self.service,
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        """Human-readable survival report."""
+        inj = self.injector
+        lines = [
+            "chaos campaign report",
+            f"  seed                {self.config['seed']}",
+            f"  requests            {self.total}",
+        ]
+        for status in ("ok", "degraded", "overloaded",
+                       "deadline_exceeded"):
+            lines.append(f"    {status:<18}{self.outcomes.get(status, 0)}")
+        lines += [
+            f"  verified exact      {self.verified}/{self.answered}",
+            f"  mismatches          {len(self.mismatches)}",
+            f"  failover hops       {self.failover_hops}",
+            f"  faults injected     {inj.get('total_fired', 0)} "
+            f"over {inj.get('total_ops', 0)} ops",
+        ]
+        for kind, n in sorted(inj.get("fired_by_kind", {}).items()):
+            lines.append(f"    {kind:<18}{n}")
+        svc = self.service
+        if svc:
+            cache = svc.get("cache", {})
+            lines += [
+                f"  lane quarantines    "
+                f"{sum(h.get('quarantine_count', 0) for h in svc.get('lane_health', {}).values())}",
+                f"  breaker trips       "
+                f"{sum(b.get('trips', 0) for b in svc.get('breakers', {}).values())}",
+                f"  shed                {svc.get('shed', 0)}",
+                f"  crosschecks         {svc.get('crosschecks', 0)}",
+                f"  cache failed builds {cache.get('failed_builds', 0)}",
+                f"  cache invalidations {cache.get('invalidations', 0)}",
+            ]
+        lines.append(f"  survived            {'yes' if self.ok else 'NO'}")
+        return "\n".join(lines)
+
+
+def run_campaign(config: CampaignConfig | None = None, *,
+                 telemetry: Telemetry | None = None) -> CampaignReport:
+    """Run one seeded chaos campaign; returns its survival report.
+
+    Ground truth for every query set is computed once with ``cpu_scan``
+    on an un-faulted path; every ok/degraded response must match it
+    *exactly* (same pairs, same intervals, no internal duplicates) —
+    fault handling may make a request slower or degraded, never wrong.
+    """
+    cfg = config or CampaignConfig()
+    database = _walk_db(cfg.num_trajectories, cfg.steps,
+                        seed=cfg.seed)
+    query_sets = [
+        _walk_db(cfg.queries_per_set, cfg.steps,
+                 seed=cfg.seed + 1000 + i, id_offset=10_000 + 100 * i)
+        for i in range(cfg.num_query_sets)
+    ]
+    truth_engine = CpuScanEngine(database)
+    truths: list[ResultSet] = [
+        truth_engine.search(qs, cfg.d)[0].canonical()
+        for qs in query_sets
+    ]
+
+    injector = FaultInjector(cfg.fault_specs(), seed=cfg.seed)
+    svc = QueryService(
+        database, num_devices=cfg.num_devices, faults=injector,
+        retry=RetryPolicy(max_attempts=4, backoff_s=1e-4),
+        telemetry=telemetry,
+        max_queue_delay_s=cfg.max_queue_delay_s,
+        lane_quarantine_s=cfg.lane_quarantine_s,
+        breaker_reset_s=cfg.breaker_reset_s,
+        crosscheck_every=cfg.crosscheck_every)
+
+    report = CampaignReport(config=cfg.to_dict())
+    pending: list[tuple[SearchRequest, int]] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        responses = svc.submit_batch([req for req, _ in pending])
+        for (req, qi), resp in zip(pending, responses):
+            if not resp.ok:
+                status = resp.status
+            elif resp.metrics.degraded:
+                status = "degraded"
+            else:
+                status = "ok"
+            report.outcomes[status] = report.outcomes.get(status, 0) + 1
+            if resp.ok:
+                report.failover_hops += resp.metrics.failovers
+                results = resp.outcome.results
+                exact = (results.equivalent_to(truths[qi])
+                         and len(results.deduplicated())
+                         == len(results))
+                if exact:
+                    report.verified += 1
+                else:
+                    report.mismatches.append(req.request_id)
+        pending.clear()
+
+    for i in range(cfg.num_requests):
+        if cfg.revive_every and i and i % cfg.revive_every == 0:
+            for lane in sorted(injector.dead_lanes):
+                injector.revive(lane)
+        qi = i % len(query_sets)
+        method = cfg.methods[i % len(cfg.methods)]
+        params = {}
+        if (cfg.small_buffer_every and method.startswith("gpu")
+                and i % cfg.small_buffer_every == 0):
+            params = {"result_buffer_items": 64}
+        deadline = (1e-9 if cfg.deadline_every
+                    and i % cfg.deadline_every == cfg.deadline_every - 1
+                    else None)
+        pending.append((SearchRequest(
+            queries=query_sets[qi], d=cfg.d, method=method,
+            params=params, deadline_s=deadline,
+            request_id=f"c{i:04d}"), qi))
+        if len(pending) >= cfg.batch_size:
+            flush()
+    flush()
+
+    report.injector = injector.report()
+    report.service = svc.stats()
+    return report

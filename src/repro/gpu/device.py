@@ -80,12 +80,27 @@ class VirtualGPU:
     three record the operation counts the cost model consumes.
     """
 
-    def __init__(self, spec: DeviceSpec = TESLA_C2075) -> None:
+    def __init__(self, spec: DeviceSpec = TESLA_C2075, *,
+                 faults=None, lane: int | None = None) -> None:
         self.spec = spec
+        #: fault injector shared by memory, transfers and the kernel
+        #: launcher (duck-typed, see :mod:`repro.faults`); None = off.
+        self.faults = faults
+        #: device-pool lane identity (None until homed by the pool).
+        self.lane = lane
         self.memory = MemoryManager(capacity_bytes=spec.global_mem_bytes,
-                                    device_name=spec.name)
-        self.transfers = TransferLedger()
+                                    device_name=spec.name,
+                                    faults=faults, lane=lane)
+        self.transfers = TransferLedger(faults=faults, lane=lane)
         self.kernel_stats: list["KernelStats"] = []  # filled by launcher
+
+    def set_lane(self, lane: int | None) -> None:
+        """Record the pool lane this device is homed on (the pool calls
+        this after placement so fault checks and OOM messages carry the
+        lane identity)."""
+        self.lane = lane
+        self.memory.lane = lane
+        self.transfers.lane = lane
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -96,7 +111,8 @@ class VirtualGPU:
         because the paper's response times exclude index construction and
         the initial placement of ``D`` on the device (§V-B).
         """
-        self.transfers = TransferLedger()
+        self.transfers = TransferLedger(faults=self.faults,
+                                        lane=self.lane)
         self.kernel_stats = []
 
     @property

@@ -148,16 +148,28 @@ class _LaunchContext:
         self._atomics += int(n)
 
     def __enter__(self) -> "_LaunchContext":
+        # Fault check happens at launch: an injected abort kills the
+        # invocation before it runs (nothing recorded, nothing
+        # published); an injected stall lets it run but inflates the
+        # per-thread work on exit, modeling a slow lane.
+        self._stall = 1.0
+        if self.gpu.faults is not None:
+            self._stall = self.gpu.faults.check(
+                "kernel", lane=self.gpu.lane, label=self.name)
         self._wall0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is not None:
             return  # don't record failed launches
+        thread_work = self.thread_work
+        if self._stall > 1.0:
+            thread_work = np.ceil(
+                thread_work * self._stall).astype(np.int64)
         stats = KernelStats(
             name=self.name,
             num_threads=self.num_threads,
-            thread_work=self.thread_work,
+            thread_work=thread_work,
             gather_work=self.gather_work,
             atomic_ops=self._atomics,
         )

@@ -23,14 +23,30 @@ __all__ = ["DeviceArray", "MemoryManager", "DeviceOutOfMemoryError"]
 
 
 class DeviceOutOfMemoryError(MemoryError):
-    """Raised when an allocation would exceed device global memory."""
+    """Raised when an allocation would exceed device global memory.
 
-    def __init__(self, requested: int, free: int, device: str) -> None:
-        super().__init__(
-            f"{device}: cannot allocate {requested} bytes "
-            f"({free} bytes free)")
+    Under a :class:`~repro.service.DevicePool` the message also names
+    the device lane and snapshots the resident allocations, so a pool
+    OOM is attributable to one card's contents rather than "a GPU".
+    """
+
+    def __init__(self, requested: int, free: int, device: str, *,
+                 lane: int | None = None,
+                 allocations: dict | None = None) -> None:
+        msg = (f"{device}: cannot allocate {requested} bytes "
+               f"({free} bytes free)")
+        if lane is not None:
+            msg += f" on lane {lane}"
+        if allocations:
+            resident = ", ".join(
+                f"{name}={nbytes}" for name, nbytes in
+                sorted(allocations.items()))
+            msg += f"; resident: {resident}"
+        super().__init__(msg)
         self.requested = requested
         self.free = free
+        self.lane = lane
+        self.allocations = dict(allocations or {})
 
 
 @dataclass
@@ -57,11 +73,17 @@ class DeviceArray:
 class MemoryManager:
     """Tracks named allocations against a fixed global-memory capacity."""
 
-    def __init__(self, capacity_bytes: int, device_name: str = "gpu") -> None:
+    def __init__(self, capacity_bytes: int, device_name: str = "gpu", *,
+                 faults=None, lane: int | None = None) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
         self.capacity_bytes = int(capacity_bytes)
         self.device_name = device_name
+        #: fault injector consulted on every allocation (duck-typed,
+        #: see :mod:`repro.faults`); None = no injection.
+        self.faults = faults
+        #: device-pool lane this memory belongs to (None = not pooled).
+        self.lane = lane
         self._allocations: dict[str, DeviceArray] = {}
         self.peak_bytes = 0
 
@@ -96,9 +118,17 @@ class MemoryManager:
         return self._register(name, np.array(host_array, copy=True))
 
     def _register(self, name: str, data: np.ndarray) -> DeviceArray:
+        if self.faults is not None:
+            self.faults.check("alloc", lane=self.lane, label=name,
+                              requested=int(data.nbytes),
+                              free=self.free_bytes,
+                              device=self.device_name,
+                              allocations=self.allocations())
         if data.nbytes > self.free_bytes:
             raise DeviceOutOfMemoryError(data.nbytes, self.free_bytes,
-                                         self.device_name)
+                                         self.device_name,
+                                         lane=self.lane,
+                                         allocations=self.allocations())
         arr = DeviceArray(name=name, data=data)
         self._allocations[name] = arr
         self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)

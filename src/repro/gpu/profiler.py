@@ -44,6 +44,10 @@ class SearchProfile:
     index_bytes: int = 0
     #: wall-clock seconds spent simulating (not modeled time).
     wall_seconds: float = 0.0
+    #: search attempts under the retry policy (1 = first try succeeded).
+    attempts: int = 1
+    #: modeled backoff the retry policy charged between attempts.
+    backoff_s: float = 0.0
 
     @classmethod
     def capture(cls, engine: str, gpu: VirtualGPU, num_queries: int,
@@ -127,11 +131,14 @@ class SearchProfile:
             "result_items": int(self.result_items),
             "index_bytes": int(self.index_bytes),
             "wall_seconds": float(self.wall_seconds),
+            "attempts": int(self.attempts),
+            "backoff_s": float(self.backoff_s),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SearchProfile":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (retry fields are optional so
+        pre-resilience payloads still load)."""
         if payload.get("kind", "gpu") != "gpu":
             raise ValueError(
                 f"expected a GPU profile, got kind={payload.get('kind')!r}")
@@ -142,6 +149,8 @@ class SearchProfile:
             "index_bytes", "wall_seconds")}
         fields_["kernel_stats"] = [KernelStats.from_dict(s)
                                    for s in payload["kernel_stats"]]
+        fields_["attempts"] = int(payload.get("attempts", 1))
+        fields_["backoff_s"] = float(payload.get("backoff_s", 0.0))
         return cls(**fields_)
 
 
@@ -216,10 +225,17 @@ class RequestMetrics:
     #: wall seconds spent simulating the search.
     wall_seconds: float = 0.0
     #: True when the requested/planned engine failed and the service
-    #: fell back to ``cpu_scan``.
+    #: fell back to another engine.
     degraded: bool = False
     #: why the degradation happened (empty when not degraded).
     degradation_reason: str = ""
+    #: search attempts the serving engine needed (retry policy).
+    attempts: int = 1
+    #: modeled backoff charged between retry attempts.
+    backoff_s: float = 0.0
+    #: failover hops the service walked before this engine answered
+    #: (0 = the requested/planned engine served it).
+    failovers: int = 0
     #: modeled service-clock instant the request arrived.
     arrival_s: float = 0.0
     #: modeled lane occupancy, one entry per shard:
@@ -239,6 +255,9 @@ class RequestMetrics:
             "wall_seconds": float(self.wall_seconds),
             "degraded": bool(self.degraded),
             "degradation_reason": self.degradation_reason,
+            "attempts": int(self.attempts),
+            "backoff_s": float(self.backoff_s),
+            "failovers": int(self.failovers),
             "arrival_s": float(self.arrival_s),
             "lane_spans": [dict(s) for s in self.lane_spans],
         }
@@ -252,6 +271,9 @@ class RequestMetrics:
                 "engine", "queue_wait_s", "cache_hit", "engine_build_s",
                 "invocations", "modeled_seconds", "wall_seconds",
                 "degraded", "degradation_reason")},
+            attempts=int(payload.get("attempts", 1)),
+            backoff_s=float(payload.get("backoff_s", 0.0)),
+            failovers=int(payload.get("failovers", 0)),
             arrival_s=float(payload.get("arrival_s", 0.0)),
             lane_spans=[dict(s)
                         for s in payload.get("lane_spans", [])],

@@ -29,9 +29,17 @@ class TransferRecord:
 
 @dataclass
 class TransferLedger:
-    """Append-only log of PCIe transfers with direction totals."""
+    """Append-only log of PCIe transfers with direction totals.
+
+    ``faults`` (duck-typed, see :mod:`repro.faults`) is consulted before
+    a copy is recorded; an injected :class:`~repro.faults.TransferFault`
+    models a PCIe transaction failing mid-flight, so the failed copy
+    never appears in the ledger.
+    """
 
     records: list[TransferRecord] = field(default_factory=list)
+    faults: object | None = None
+    lane: int | None = None
 
     def h2d(self, label: str, payload: np.ndarray | int) -> None:
         """Record a host-to-device copy of ``payload`` (array or #bytes)."""
@@ -47,6 +55,8 @@ class TransferLedger:
                      else payload)
         if nbytes < 0:
             raise ValueError("transfer size must be non-negative")
+        if self.faults is not None:
+            self.faults.check(direction, lane=self.lane, label=label)
         self.records.append(TransferRecord(direction, label, nbytes))
 
     # -- summaries ---------------------------------------------------------------

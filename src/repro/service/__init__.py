@@ -1,13 +1,18 @@
 """Batched query service: index caching, adaptive engine selection, and
-a typed request/response API.
+a typed request/response API — hardened against device faults.
 
 The paper's engines answer one query set against one pre-built index.  A
-*service* answers a stream of batches, and three serving concerns
-dominate once the index exists:
+*service* answers a stream of batches, and the serving concerns dominate
+once the index exists:
 
 * amortizing the offline index build across batches (the engine cache),
 * choosing the right engine per workload (planner-driven ``"auto"``),
-* and surviving bad configurations (degradation to ``cpu_scan``).
+* and surviving failures: a deterministic failover ladder (other GPU
+  engines → ``cpu_rtree`` → ``cpu_scan``), per-engine circuit breakers,
+  per-lane quarantine with probational re-admission, per-request
+  deadlines, queue-pressure load shedding, and sampled cross-checking
+  of failover results against ground truth (see
+  :mod:`repro.service.resilience` and :mod:`repro.faults`).
 
 Entry point::
 
@@ -15,23 +20,29 @@ Entry point::
 
     svc = QueryService(db, num_devices=2)
     resp = svc.submit(SearchRequest(queries=q, d=5.0, method="auto"))
-    resp.outcome.results       # the ResultSet
+    resp.ok                    # False for typed rejections
+    resp.outcome.results       # the ResultSet (ok responses)
     resp.metrics.cache_hit     # served from a cached index?
-    resp.metrics.queue_wait_s  # modeled wait for a free device
+    resp.metrics.failovers     # ladder hops before an engine answered
 """
 
 from .cache import (CacheEntry, CacheStats, EngineCache,
                     canonical_params, database_fingerprint)
-from .requests import SearchRequest, SearchResponse
+from .requests import RESPONSE_STATUSES, SearchRequest, SearchResponse
+from .resilience import (CircuitBreaker, LaneHealth, NoUsableLaneError)
 from .scheduler import DeviceLane, DevicePool, QueryService
 
 __all__ = [
     "CacheEntry",
     "CacheStats",
+    "CircuitBreaker",
     "DeviceLane",
     "DevicePool",
     "EngineCache",
+    "LaneHealth",
+    "NoUsableLaneError",
     "QueryService",
+    "RESPONSE_STATUSES",
     "SearchRequest",
     "SearchResponse",
     "canonical_params",

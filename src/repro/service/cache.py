@@ -74,11 +74,20 @@ class CacheEntry:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters, exposed through service stats."""
+    """Hit/miss/eviction counters, exposed through service stats.
+
+    ``failed_builds`` counts misses whose engine build then failed —
+    those never become cache entries, so a failed build is visible in
+    the stats without ever being mistaken for a usable cached engine.
+    ``invalidations`` counts entries dropped for health reasons (their
+    device lane was quarantined), as opposed to LRU ``evictions``.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    failed_builds: int = 0
+    invalidations: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -90,6 +99,8 @@ class CacheStats:
         """JSON-friendly representation."""
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions,
+                "failed_builds": self.failed_builds,
+                "invalidations": self.invalidations,
                 "hit_ratio": self.hit_ratio}
 
 
@@ -142,6 +153,24 @@ class EngineCache:
             if self._on_evict is not None:
                 self._on_evict(victim)
         self._entries[entry.key] = entry
+
+    def record_failed_build(self) -> None:
+        """Count a miss whose engine build failed (no entry created)."""
+        self.stats.failed_builds += 1
+
+    def invalidate_lane(self, lane: int) -> int:
+        """Drop every entry homed on ``lane`` (the lane was quarantined;
+        its device-resident indexes are gone).  ``on_evict`` runs for
+        each dropped entry so pool residency stays balanced.  Returns
+        the number of entries dropped."""
+        victims = [key for key, e in self._entries.items()
+                   if e.lane == lane]
+        for key in victims:
+            entry = self._entries.pop(key)
+            self.stats.invalidations += 1
+            if self._on_evict is not None:
+                self._on_evict(entry)
+        return len(victims)
 
     def entries(self) -> list[CacheEntry]:
         """Snapshot in LRU order (oldest first), for reporting."""

@@ -18,7 +18,7 @@ from ..core.search import SearchOutcome
 from ..core.types import SegmentArray
 from ..gpu.profiler import RequestMetrics
 
-__all__ = ["SearchRequest", "SearchResponse"]
+__all__ = ["RESPONSE_STATUSES", "SearchRequest", "SearchResponse"]
 
 
 @dataclass
@@ -51,6 +51,11 @@ class SearchRequest:
     partition_strategy:
         Shard assignment rule when ``shards > 1`` (see
         :mod:`repro.distributed.partition`).
+    deadline_s:
+        Wall-clock budget for serving this request; the service
+        propagates it into engine retry loops and the failover ladder,
+        and rejects with a typed ``deadline_exceeded`` response when it
+        runs out.  ``None`` (default) = no per-request deadline.
     request_id:
         Client-chosen correlation id echoed in the response.
     """
@@ -62,6 +67,7 @@ class SearchRequest:
     exclude_same_trajectory: bool = False
     shards: int = 1
     partition_strategy: str = "round_robin"
+    deadline_s: float | None = None
     request_id: str = ""
 
     def __post_init__(self) -> None:
@@ -72,6 +78,8 @@ class SearchRequest:
                              f"got {self.d!r}")
         if int(self.shards) < 1:
             raise ValueError("shards must be >= 1")
+        if self.deadline_s is not None and not (self.deadline_s > 0):
+            raise ValueError("deadline_s must be positive (or None)")
         self.shards = int(self.shards)
 
     def to_dict(self) -> dict:
@@ -84,6 +92,7 @@ class SearchRequest:
             "exclude_same_trajectory": bool(self.exclude_same_trajectory),
             "shards": int(self.shards),
             "partition_strategy": self.partition_strategy,
+            "deadline_s": self.deadline_s,
             "request_id": self.request_id,
         }
 
@@ -101,31 +110,68 @@ class SearchRequest:
             shards=int(payload.get("shards", 1)),
             partition_strategy=payload.get("partition_strategy",
                                            "round_robin"),
+            deadline_s=payload.get("deadline_s"),
             request_id=payload.get("request_id", ""),
         )
 
 
+#: response statuses: ``ok`` carries an outcome (possibly via a
+#: degraded engine); the others are typed rejections with no outcome.
+RESPONSE_STATUSES = ("ok", "overloaded", "deadline_exceeded")
+
+
 @dataclass
 class SearchResponse:
-    """What the service returns for one :class:`SearchRequest`."""
+    """What the service returns for one :class:`SearchRequest`.
+
+    ``status == "ok"`` responses carry a full
+    :class:`~repro.core.search.SearchOutcome` (check
+    ``metrics.degraded`` for whether a fallback engine produced it).
+    Typed rejections — ``"overloaded"`` from queue-pressure load
+    shedding, ``"deadline_exceeded"`` from an exhausted request budget —
+    carry ``outcome=None`` plus a human-readable ``reason``, so a
+    client can tell "no answer, retry later" from "empty answer".
+    """
 
     request_id: str
-    outcome: SearchOutcome
+    outcome: SearchOutcome | None
     metrics: RequestMetrics
+    status: str = "ok"
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in RESPONSE_STATUSES:
+            raise ValueError(f"unknown status {self.status!r}; expected "
+                             f"one of {RESPONSE_STATUSES}")
+        if (self.outcome is None) != (self.status != "ok"):
+            raise ValueError("ok responses need an outcome; rejected "
+                             "responses must not carry one")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def to_dict(self) -> dict:
         """JSON-friendly representation."""
         return {
             "request_id": self.request_id,
-            "outcome": self.outcome.to_dict(),
+            "status": self.status,
+            "reason": self.reason,
+            "outcome": (self.outcome.to_dict()
+                        if self.outcome is not None else None),
             "metrics": self.metrics.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SearchResponse":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (``status``/``reason`` default to
+        an ok response so pre-resilience payloads still load)."""
+        outcome = payload.get("outcome")
         return cls(
             request_id=payload["request_id"],
-            outcome=SearchOutcome.from_dict(payload["outcome"]),
+            outcome=(SearchOutcome.from_dict(outcome)
+                     if outcome is not None else None),
             metrics=RequestMetrics.from_dict(payload["metrics"]),
+            status=payload.get("status", "ok"),
+            reason=payload.get("reason", ""),
         )

@@ -1,5 +1,5 @@
 """The batched query service: device pool, engine cache, adaptive
-selection, degradation.
+selection, resilient serving.
 
 :class:`QueryService` is the serving-layer composition of everything the
 repository already knows how to do:
@@ -11,9 +11,6 @@ repository already knows how to do:
 * **Adaptive engine selection** — ``method="auto"`` asks the cost-based
   planner (:func:`repro.core.planner.plan_search`) to rank engines for
   the batch's workload and uses the winner.
-* **Graceful degradation** — if planning or index construction fails
-  (e.g. the index does not fit device memory), the request falls back to
-  the index-free ``cpu_scan`` baseline and the response says so.
 * **Device pool** — a :class:`DevicePool` of virtual GPUs with modeled
   per-lane clocks: concurrent batches queue on the lane their engine is
   homed on, and a request's ``queue_wait_s`` is the modeled time it
@@ -21,23 +18,55 @@ repository already knows how to do:
   across lanes (reusing :mod:`repro.distributed.partition`) and runs the
   shards concurrently.
 
+And the failure-handling layer (see ``docs/ARCHITECTURE.md``,
+*Failure model & resilience*):
+
+* **Failover ladder** — when the requested/planned engine fails (index
+  build or search, including faults injected by
+  :mod:`repro.faults`), the request is re-planned down a deterministic
+  ladder: the other GPU engines, then ``cpu_rtree``, then the
+  index-free ``cpu_scan``.  The response reports ``degraded=True``,
+  the failing rung, and the hop count.
+* **Circuit breakers** — consecutive failures of one engine open a
+  per-engine :class:`~repro.service.resilience.CircuitBreaker`;
+  while open, requests skip that rung instead of paying the failure
+  again, and a half-open probe re-admits the engine once it recovers.
+* **Lane health** — consecutive failures on one device lane quarantine
+  it: its cached engines are invalidated (indexes on a dead card are
+  gone), new builds avoid it, and after the quarantine window it is
+  probationally re-admitted.
+* **Deadlines** — ``request.deadline_s`` opens a
+  :func:`~repro.engines.base.deadline_scope` so one wall-clock budget
+  bounds the engine retry loop *and* the failover ladder; an exhausted
+  budget yields a typed ``deadline_exceeded`` rejection.
+* **Load shedding** — when every usable lane's modeled backlog exceeds
+  ``max_queue_delay_s``, the request is rejected up front with a typed
+  ``overloaded`` response instead of quietly queueing.
+* **Verified failover** — a deterministic sample of failover responses
+  is cross-checked against a fresh ``cpu_scan`` over the full database;
+  mismatches are counted and logged (none are expected: degraded must
+  mean *slower*, never *wrong*).
+
 Scheduling uses the *modeled* clock, consistent with the rest of the
 repository: wall time measures the simulator, modeled time measures the
-machine the paper ran on.
+machine the paper ran on.  Retry backoff and recovery windows live on
+the same modeled clock — chaos tests run at full wall speed.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.planner import plan_search
 from ..core.result import ResultSet
 from ..core.search import ENGINE_REGISTRY, SearchOutcome
 from ..core.types import SegmentArray
 from ..distributed.partition import partition_database
-from ..engines.base import GpuEngineBase, RetryPolicy
+from ..engines.base import (Deadline, DeadlineExceededError, GpuEngineBase,
+                            RetryPolicy, deadline_scope)
 from ..engines.config import ConfigError
+from ..engines.cpu_scan import CpuScanEngine
 from ..gpu.costmodel import CostBreakdown, CpuCostModel, GpuCostModel
 from ..gpu.device import DeviceSpec, TESLA_C2075, VirtualGPU
 from ..gpu.profiler import CpuSearchProfile, RequestMetrics, SearchProfile
@@ -45,6 +74,7 @@ from ..obs import Telemetry
 from .cache import (CacheEntry, EngineCache, canonical_params,
                     database_fingerprint)
 from .requests import SearchRequest, SearchResponse
+from .resilience import CircuitBreaker, LaneHealth, NoUsableLaneError
 
 __all__ = ["DeviceLane", "DevicePool", "QueryService"]
 
@@ -55,34 +85,51 @@ _PLANNER_HINTS = ("num_bins", "num_subbins", "cells_per_dim",
 
 @dataclass
 class DeviceLane:
-    """One device's modeled timeline and residency accounting."""
+    """One device's modeled timeline, residency, and health."""
 
     index: int
     #: modeled time at which the lane next becomes free.
     busy_until: float = 0.0
     #: device bytes held by engines homed on this lane.
     resident_bytes: int = 0
+    #: quarantine/probation state machine (modeled clock).
+    health: LaneHealth = field(default_factory=LaneHealth)
 
 
 class DevicePool:
     """A pool of identical virtual GPUs plus one host lane.
 
-    Engines are *homed* on the least-loaded lane when built and stay
-    there (indexes are device-resident; migrating one would be a
+    Engines are *homed* on the least-loaded usable lane when built and
+    stay there (indexes are device-resident; migrating one would be a
     rebuild).  Each engine still owns a private :class:`VirtualGPU` —
     real devices isolate contexts, and sharing one memory manager would
     collide allocation names — so a lane models the *timeline and
     capacity* of a card, not a shared address space.
+
+    Each lane also carries a
+    :class:`~repro.service.resilience.LaneHealth`: consecutive failures
+    quarantine the lane for ``quarantine_s`` modeled seconds (doubling
+    on repeat offenses), after which it is probationally re-admitted.
+    The host lane is never quarantined — CPU engines are the fallback
+    of last resort and must stay reachable.
     """
 
     #: lane index used for CPU engines (host execution).
     HOST_LANE = -1
 
     def __init__(self, num_devices: int = 1,
-                 spec: DeviceSpec = TESLA_C2075) -> None:
+                 spec: DeviceSpec = TESLA_C2075, *,
+                 failure_threshold: int = 3,
+                 quarantine_s: float = 60.0) -> None:
         if num_devices < 1:
             raise ValueError("pool needs at least one device")
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if quarantine_s <= 0:
+            raise ValueError("quarantine_s must be positive")
         self.spec = spec
+        self.failure_threshold = failure_threshold
+        self.quarantine_s = quarantine_s
         self.lanes = [DeviceLane(i) for i in range(num_devices)]
         self.host = DeviceLane(self.HOST_LANE)
 
@@ -97,9 +144,19 @@ class DevicePool:
     def lane(self, index: int) -> DeviceLane:
         return self.host if index == self.HOST_LANE else self.lanes[index]
 
+    def usable_lanes(self) -> list[DeviceLane]:
+        """GPU lanes currently accepting work (healthy or probation)."""
+        return [lane for lane in self.lanes if lane.health.usable]
+
     def home_for(self, nbytes: int) -> DeviceLane:
-        """Pick the lane with the most free memory for a new engine."""
-        return min(self.lanes, key=lambda lane: lane.resident_bytes)
+        """Pick the usable lane with the most free memory for a new
+        engine; raises :class:`NoUsableLaneError` when every GPU lane
+        is quarantined (the failover ladder then moves on to CPU)."""
+        usable = self.usable_lanes()
+        if not usable:
+            raise NoUsableLaneError(
+                f"all {self.num_devices} GPU lanes are quarantined")
+        return min(usable, key=lambda lane: lane.resident_bytes)
 
     def place(self, lane_index: int, nbytes: int) -> None:
         self.lane(lane_index).resident_bytes += nbytes
@@ -111,6 +168,30 @@ class DevicePool:
         """Latest modeled busy_until across all lanes (incl. host)."""
         return max(self.host.busy_until,
                    *(lane.busy_until for lane in self.lanes))
+
+    # -- health ------------------------------------------------------------------
+
+    def refresh_health(self, now: float) -> list[int]:
+        """Expire quarantine windows; returns lanes that just entered
+        probation."""
+        return [lane.index for lane in self.lanes
+                if lane.health.refresh(now)]
+
+    def record_lane_failure(self, index: int, now: float) -> bool:
+        """Charge one failure to a lane; True when it was quarantined.
+        The host lane absorbs failures without ever quarantining."""
+        if index == self.HOST_LANE:
+            return False
+        return self.lanes[index].health.record_failure(
+            now, threshold=self.failure_threshold,
+            quarantine_s=self.quarantine_s)
+
+    def record_lane_success(self, index: int) -> bool:
+        """Credit one served request to a lane; True when this
+        re-admitted a probational lane."""
+        if index == self.HOST_LANE:
+            return False
+        return self.lanes[index].health.record_success()
 
 
 @dataclass
@@ -148,9 +229,30 @@ class QueryService:
         The :class:`~repro.obs.Telemetry` hub the service records
         into (None = a fresh enabled hub).  Pass
         ``Telemetry(enabled=False)`` to switch instrumentation off.
+    faults:
+        A :class:`~repro.faults.FaultInjector` wired into every
+        :class:`VirtualGPU` the service builds (None = no injection).
+        Chaos tests use this; production-shaped runs leave it unset.
+    max_queue_delay_s:
+        Load-shedding threshold: when every usable lane's modeled
+        backlog exceeds this, reject with ``status="overloaded"``
+        instead of queueing.  None (default) disables shedding.
+    breaker_threshold, breaker_reset_s:
+        Per-engine circuit breaker tuning (consecutive failures to
+        open; modeled seconds before a half-open probe).
+    lane_failure_threshold, lane_quarantine_s:
+        Per-lane health tuning (consecutive failures to quarantine;
+        base modeled quarantine window, doubling per repeat offense).
+    crosscheck_every:
+        Cross-check every Nth failover response against ``cpu_scan``
+        ground truth (0 disables the sampling).
     """
 
     FALLBACK_METHOD = "cpu_scan"
+    #: GPU rungs of the failover ladder, in preference order.
+    GPU_LADDER = ("gpu_temporal", "gpu_spatiotemporal", "gpu_spatial")
+    #: CPU rungs: the indexed host engine, then the index-free scan.
+    CPU_LADDER = ("cpu_rtree", "cpu_scan")
 
     def __init__(self, database: SegmentArray, *,
                  num_devices: int = 1,
@@ -160,11 +262,24 @@ class QueryService:
                  cache_bytes: int | None = None,
                  planner_sample: int = 32,
                  retry: RetryPolicy | None = None,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 faults=None,
+                 max_queue_delay_s: float | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_reset_s: float = 30.0,
+                 lane_failure_threshold: int = 3,
+                 lane_quarantine_s: float = 60.0,
+                 crosscheck_every: int = 8) -> None:
         if len(database) == 0:
             raise ValueError("service needs a non-empty database")
+        if max_queue_delay_s is not None and max_queue_delay_s < 0:
+            raise ValueError("max_queue_delay_s must be >= 0 (or None)")
+        if crosscheck_every < 0:
+            raise ValueError("crosscheck_every must be >= 0")
         self.database = database
-        self.pool = DevicePool(num_devices, spec)
+        self.pool = DevicePool(num_devices, spec,
+                               failure_threshold=lane_failure_threshold,
+                               quarantine_s=lane_quarantine_s)
         self.gpu_model = gpu_model or GpuCostModel(spec=spec)
         self.cpu_model = cpu_model or CpuCostModel()
         self.cache = EngineCache(
@@ -173,6 +288,11 @@ class QueryService:
             on_evict=self._on_evict)
         self.planner_sample = planner_sample
         self.retry = retry
+        self.faults = faults
+        self.max_queue_delay_s = max_queue_delay_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self.crosscheck_every = crosscheck_every
         self.fingerprint = database_fingerprint(database)
         #: the unified telemetry hub: metrics registry, tracer,
         #: structured event log, slow-query log.
@@ -180,6 +300,14 @@ class QueryService:
         self._clock = 0.0
         self._num_requests = 0
         self._degradations = 0
+        self._shed = 0
+        self._failover_serves = 0
+        self._crosschecks = 0
+        #: request ids whose failover response disagreed with cpu_scan
+        #: ground truth (expected to stay empty).
+        self.crosscheck_mismatches: list[str] = []
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._truth_engine: CpuScanEngine | None = None
         self._shard_cache: dict[tuple[str, int], list[SegmentArray]] = {}
 
     @property
@@ -248,6 +376,14 @@ class QueryService:
                                   for lane in self.pool.lanes],
             "degradations": degradations,
             "slow_queries": len(self.telemetry.slow_log),
+            "shed": self._shed,
+            "failover_serves": self._failover_serves,
+            "crosschecks": self._crosschecks,
+            "crosscheck_mismatches": list(self.crosscheck_mismatches),
+            "lane_health": {str(lane.index): lane.health.to_dict()
+                            for lane in self.pool.lanes},
+            "breakers": {m_: b.to_dict()
+                         for m_, b in sorted(self._breakers.items())},
         }
 
     # -- request execution ----------------------------------------------------------
@@ -257,37 +393,173 @@ class QueryService:
         self._num_requests += 1
         metrics = RequestMetrics()
         metrics.arrival_s = arrival
+        deadline = (Deadline.after(request.deadline_s)
+                    if request.deadline_s is not None else None)
         with self.telemetry.span(
                 "service.request", request_id=request.request_id,
                 method=request.method) as span:
-            method, params = self._resolve_method(request, metrics)
-            try:
-                runs = self._engines_for(request, method, params,
-                                         metrics)
-            except ConfigError:
-                raise  # caller error: bad parameters are not degradation
-            except Exception as exc:  # noqa: BLE001 - any build failure degrades
-                if method == self.FALLBACK_METHOD:
-                    raise  # the fallback itself failed; nothing left
-                self._record_degradation(request, method, exc, metrics)
-                method, params = self.FALLBACK_METHOD, {}
-                runs = self._engines_for(request, method, params,
-                                         metrics)
-            response = self._execute(request, method, runs, arrival,
-                                     metrics)
+            for lane_idx in self.pool.refresh_health(arrival):
+                self._note_lane_probation(lane_idx)
+            response = self._shed_check(request, arrival, metrics)
+            if response is None:
+                with deadline_scope(deadline):
+                    response = self._serve_ladder(request, arrival,
+                                                  metrics, deadline)
             span.set_attributes(engine=metrics.engine,
                                 cache_hit=metrics.cache_hit,
-                                degraded=metrics.degraded)
+                                degraded=metrics.degraded,
+                                status=response.status)
             span.set_modeled(arrival, metrics.queue_wait_s
                              + metrics.modeled_seconds)
         self._finish_request(request, response)
         return response
+
+    def _serve_ladder(self, request: SearchRequest, arrival: float,
+                      metrics: RequestMetrics,
+                      deadline: Deadline | None) -> SearchResponse:
+        """Walk the failover ladder until a rung serves the request."""
+        method, params = self._resolve_method(request, metrics)
+        ladder = self._failover_ladder(method)
+        first_failure: str | None = None
+        last_exc: Exception | None = None
+        for hop, rung in enumerate(ladder):
+            if deadline is not None and deadline.expired:
+                return self._reject(
+                    request, metrics, "deadline_exceeded",
+                    f"budget of {request.deadline_s}s exhausted after "
+                    f"{hop} ladder rungs"
+                    + (f"; first failure: {first_failure}"
+                       if first_failure else ""))
+            breaker = self._breaker(rung)
+            if not breaker.allow(arrival):
+                self._note_breaker_skip(request, rung)
+                if first_failure is None:
+                    first_failure = f"{rung}: circuit breaker open"
+                continue
+            try:
+                response = self._attempt(request, rung,
+                                         params if hop == 0 else {},
+                                         hop, arrival, metrics)
+            except ConfigError:
+                raise  # caller error: bad parameters, not degradation
+            except DeadlineExceededError as exc:
+                return self._reject(request, metrics,
+                                    "deadline_exceeded", str(exc))
+            except NoUsableLaneError as exc:
+                # Not the engine's fault — no breaker penalty; move to
+                # a rung that does not need a GPU lane.
+                first_failure = first_failure or \
+                    f"{rung}: {type(exc).__name__}: {exc}"
+                self._note_engine_failure(request, rung, hop, exc)
+                continue
+            except Exception as exc:  # noqa: BLE001 - any rung failure fails over
+                if breaker.record_failure(arrival):
+                    self.telemetry.events.emit(
+                        "breaker_open", engine=rung,
+                        trips=breaker.trips)
+                self._gauge_breaker(rung, breaker)
+                first_failure = first_failure or \
+                    f"{rung}: {type(exc).__name__}: {exc}"
+                last_exc = exc
+                self._note_engine_failure(request, rung, hop, exc)
+                continue
+            if breaker.record_success():
+                self.telemetry.events.emit("breaker_closed",
+                                           engine=rung)
+            self._gauge_breaker(rung, breaker)
+            if hop > 0:
+                metrics.failovers = hop
+                self._failover_serves += 1
+                self._record_degradation(request, method,
+                                         first_failure, metrics,
+                                         fallback=rung)
+                self._maybe_crosscheck(request, response)
+            return response
+        if last_exc is not None:
+            raise last_exc  # every rung failed; surface the last error
+        # Nothing even ran: every rung's breaker is open.
+        return self._reject(request, metrics, "overloaded",
+                            "circuit breakers open for every engine "
+                            f"in the ladder {ladder}")
+
+    def _attempt(self, request: SearchRequest, method: str,
+                 params: dict, hop: int, arrival: float,
+                 metrics: RequestMetrics) -> SearchResponse:
+        """Build (or fetch) the engines for one rung and execute."""
+        if hop == 0:
+            runs = self._engines_for(request, method, params, metrics)
+            return self._execute(request, method, runs, arrival,
+                                 metrics)
+        with self.telemetry.span("service.failover",
+                                 request_id=request.request_id,
+                                 engine=method, hop=hop):
+            runs = self._engines_for(request, method, params, metrics)
+            return self._execute(request, method, runs, arrival,
+                                 metrics)
+
+    def _failover_ladder(self, method: str) -> list[str]:
+        """The rung sequence for a request that asked for ``method``.
+
+        GPU methods fail over to the other GPU schemes first (a fault
+        may be engine- or index-specific), then to the CPU rungs.  CPU
+        methods never fail *up* to a GPU: ``cpu_rtree`` falls back to
+        ``cpu_scan``; ``cpu_scan`` has no rung below it.
+        """
+        ladder = [method]
+        cls = ENGINE_REGISTRY.get(method)
+        if cls is not None and issubclass(cls, GpuEngineBase):
+            ladder += [m for m in self.GPU_LADDER
+                       if m != method and m in ENGINE_REGISTRY]
+        ladder += [m for m in self.CPU_LADDER
+                   if m not in ladder and m in ENGINE_REGISTRY]
+        return ladder
+
+    def _shed_check(self, request: SearchRequest, arrival: float,
+                    metrics: RequestMetrics) -> SearchResponse | None:
+        """Queue-pressure load shedding: reject up front when every
+        possible executor is backlogged past ``max_queue_delay_s``."""
+        if self.max_queue_delay_s is None:
+            return None
+        waits = [max(0.0, lane.busy_until - arrival)
+                 for lane in self.pool.usable_lanes()]
+        waits.append(max(0.0, self.pool.host.busy_until - arrival))
+        pressure = min(waits)
+        if pressure <= self.max_queue_delay_s:
+            return None
+        self._shed += 1
+        self.telemetry.metrics.counter(
+            "repro_shed_total",
+            "requests rejected by queue-pressure load shedding").inc()
+        self.telemetry.events.emit(
+            "overloaded", request_id=request.request_id,
+            queue_delay_s=pressure, limit_s=self.max_queue_delay_s)
+        return self._reject(
+            request, metrics, "overloaded",
+            f"modeled queue delay {pressure:.6f}s exceeds the "
+            f"{self.max_queue_delay_s}s shedding limit")
+
+    def _reject(self, request: SearchRequest, metrics: RequestMetrics,
+                status: str, reason: str) -> SearchResponse:
+        return SearchResponse(request_id=request.request_id,
+                              outcome=None, metrics=metrics,
+                              status=status, reason=reason)
 
     def _finish_request(self, request: SearchRequest,
                         response: SearchResponse) -> None:
         """Record the per-request metrics, event, and slow-query entry."""
         m = response.metrics
         reg = self.telemetry.metrics
+        if not response.ok:
+            reg.counter("repro_requests_total",
+                        "requests served").inc(
+                engine=m.engine or "none", status=response.status)
+            reg.counter("repro_rejections_total",
+                        "typed request rejections").inc(
+                status=response.status)
+            self.telemetry.events.emit(
+                "rejected", request_id=request.request_id,
+                status=response.status, reason=response.reason)
+            return
         reg.counter("repro_requests_total",
                     "requests served").inc(
             engine=m.engine,
@@ -336,7 +608,8 @@ class QueryService:
                                     cpu_model=self.cpu_model, **hints)
                 sp.set_attribute("winner", plans[0].engine)
         except Exception as exc:  # noqa: BLE001 - degrade, don't fail
-            self._record_degradation(request, "auto", exc, metrics)
+            self._record_degradation(request, "auto", exc, metrics,
+                                     fallback=self.FALLBACK_METHOD)
             return self.FALLBACK_METHOD, {}
         best = plans[0]
         params = dict(best.params)
@@ -399,14 +672,27 @@ class QueryService:
         reg.counter("repro_cache_misses_total",
                     "engine-cache misses").inc(engine=method)
 
+        is_gpu = issubclass(cls, GpuEngineBase)
+        # Pick the home lane *before* building so a build failure (real
+        # or injected) is attributable to the card it happened on.
+        lane = (self.pool.home_for(0).index if is_gpu
+                else DevicePool.HOST_LANE)
         build0 = time.perf_counter()
-        with self.telemetry.span("engine.build", engine=method) as sp:
-            is_gpu = issubclass(cls, GpuEngineBase)
-            gpu = VirtualGPU(self.pool.spec) if is_gpu else None
-            if cfg is not None:
-                engine = cls.from_config(database, cfg, gpu=gpu)
-            else:
-                engine = cls.from_config(database, gpu=gpu, **params)
+        with self.telemetry.span("engine.build", engine=method,
+                                 lane=lane) as sp:
+            gpu = (VirtualGPU(self.pool.spec, faults=self.faults,
+                              lane=lane)
+                   if is_gpu else None)
+            try:
+                if cfg is not None:
+                    engine = cls.from_config(database, cfg, gpu=gpu)
+                else:
+                    engine = cls.from_config(database, gpu=gpu,
+                                             **params)
+            except Exception as exc:
+                self.cache.record_failed_build()
+                self._note_lane_failure(lane, exc)
+                raise
             if is_gpu and self.retry is not None:
                 engine.retry = self.retry
             nbytes = (gpu.memory.allocated_bytes if gpu is not None
@@ -414,8 +700,6 @@ class QueryService:
             sp.set_attribute("nbytes", nbytes)
         build_s = time.perf_counter() - build0
 
-        lane = (self.pool.home_for(nbytes).index if is_gpu
-                else DevicePool.HOST_LANE)
         entry = CacheEntry(key=key, engine=engine, gpu=gpu, lane=lane,
                            nbytes=nbytes, build_wall_s=build_s)
         self.pool.place(lane, nbytes)
@@ -436,14 +720,26 @@ class QueryService:
         with self.telemetry.span("service.execute",
                                  shards=len(entries)) as exec_span:
             for entry in entries:
-                results, profile = entry.engine.search(
-                    request.queries, request.d,
-                    exclude_same_trajectory=request
-                    .exclude_same_trajectory)
+                try:
+                    results, profile = entry.engine.search(
+                        request.queries, request.d,
+                        exclude_same_trajectory=request
+                        .exclude_same_trajectory)
+                except DeadlineExceededError:
+                    raise  # budget ran out: not the lane's fault
+                except Exception as exc:
+                    self._note_lane_failure(entry.lane, exc)
+                    raise
+                self._note_lane_success(entry.lane)
                 if isinstance(profile, CpuSearchProfile):
                     modeled = profile.modeled_time(self.cpu_model)
                 else:
                     modeled = profile.modeled_time(self.gpu_model)
+                    if profile.backoff_s:
+                        # Retry backoff is host-side modeled waiting;
+                        # charge it so lane occupancy reflects it.
+                        modeled = modeled + CostBreakdown(
+                            host=profile.backoff_s)
                 runs.append(_ShardRun(entry, results, profile, modeled))
 
         # Lane occupancy: each shard queues on its engine's home lane;
@@ -473,6 +769,11 @@ class QueryService:
             for r in runs if isinstance(r.profile, SearchProfile))
         metrics.modeled_seconds = outcome.modeled_seconds
         metrics.wall_seconds = sum(r.profile.wall_seconds for r in runs)
+        gpu_profiles = [r.profile for r in runs
+                        if isinstance(r.profile, SearchProfile)]
+        if gpu_profiles:
+            metrics.attempts = max(p.attempts for p in gpu_profiles)
+            metrics.backoff_s = sum(p.backoff_s for p in gpu_profiles)
         return SearchResponse(request_id=request.request_id,
                               outcome=outcome, metrics=metrics)
 
@@ -508,6 +809,8 @@ class QueryService:
                 result_items=len(results),
                 index_bytes=sum(p.index_bytes for p in profiles),
                 wall_seconds=sum(p.wall_seconds for p in profiles),
+                attempts=max(p.attempts for p in profiles),
+                backoff_s=sum(p.backoff_s for p in profiles),
             )
         else:
             merged = CpuSearchProfile(
@@ -524,24 +827,141 @@ class QueryService:
         return SearchOutcome(results=results, profile=merged,
                              modeled=slowest.modeled)
 
+    # -- resilience bookkeeping ---------------------------------------------------
+
+    def _breaker(self, method: str) -> CircuitBreaker:
+        breaker = self._breakers.get(method)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                reset_after_s=self.breaker_reset_s)
+            self._breakers[method] = breaker
+        return breaker
+
+    def _gauge_breaker(self, method: str,
+                       breaker: CircuitBreaker) -> None:
+        self.telemetry.metrics.gauge(
+            "repro_breaker_state",
+            "per-engine breaker: 0 closed / 1 half-open / 2 open").set(
+            breaker.state_code, engine=method)
+
+    def _note_breaker_skip(self, request: SearchRequest,
+                           method: str) -> None:
+        self.telemetry.metrics.counter(
+            "repro_breaker_skips_total",
+            "ladder rungs skipped on an open breaker").inc(
+            engine=method)
+        self.telemetry.events.emit(
+            "breaker_skip", request_id=request.request_id,
+            engine=method)
+
+    def _note_engine_failure(self, request: SearchRequest, method: str,
+                             hop: int, exc: Exception) -> None:
+        self.telemetry.metrics.counter(
+            "repro_engine_failures_total",
+            "engine failures observed by the service").inc(
+            engine=method, error=type(exc).__name__)
+        self.telemetry.events.emit(
+            "failover", request_id=request.request_id,
+            from_method=method, hop=hop,
+            error=f"{type(exc).__name__}: {exc}")
+
+    def _gauge_lane(self, lane_idx: int) -> None:
+        self.telemetry.metrics.gauge(
+            "repro_lane_state",
+            "lane health: 0 healthy / 1 probation / 2 quarantined").set(
+            self.pool.lanes[lane_idx].health.state_code,
+            lane=str(lane_idx))
+
+    def _note_lane_failure(self, lane_idx: int, exc: Exception) -> None:
+        if lane_idx == DevicePool.HOST_LANE:
+            return
+        quarantined = self.pool.record_lane_failure(lane_idx,
+                                                    self._clock)
+        self._gauge_lane(lane_idx)
+        if not quarantined:
+            return
+        # The lane's device-resident indexes are unreachable now;
+        # invalidate them so later requests rebuild on healthy lanes.
+        dropped = self.cache.invalidate_lane(lane_idx)
+        health = self.pool.lanes[lane_idx].health
+        self.telemetry.metrics.counter(
+            "repro_lane_quarantines_total",
+            "lane quarantine transitions").inc(lane=str(lane_idx))
+        self.telemetry.events.emit(
+            "lane_quarantined", lane=lane_idx,
+            dropped_entries=dropped,
+            until_s=health.quarantined_until,
+            error=f"{type(exc).__name__}: {exc}")
+
+    def _note_lane_success(self, lane_idx: int) -> None:
+        if lane_idx == DevicePool.HOST_LANE:
+            return
+        if self.pool.record_lane_success(lane_idx):
+            self.telemetry.events.emit("lane_readmitted",
+                                       lane=lane_idx)
+        self._gauge_lane(lane_idx)
+
+    def _note_lane_probation(self, lane_idx: int) -> None:
+        self._gauge_lane(lane_idx)
+        self.telemetry.events.emit("lane_probation", lane=lane_idx)
+
+    def _maybe_crosscheck(self, request: SearchRequest,
+                          response: SearchResponse) -> None:
+        """Deterministically sampled verification of failover results
+        against ``cpu_scan`` ground truth.  The check runs off the
+        serving clock (verification overhead is not charged to lanes);
+        a degraded answer must be slower, never wrong."""
+        if self.crosscheck_every <= 0:
+            return
+        if (self._failover_serves - 1) % self.crosscheck_every:
+            return
+        if response.metrics.engine == self.FALLBACK_METHOD:
+            return  # served by the truth engine itself
+        with self.telemetry.span(
+                "service.crosscheck", request_id=request.request_id,
+                engine=response.metrics.engine):
+            truth, _ = self._truth().search(
+                request.queries, request.d,
+                exclude_same_trajectory=request.exclude_same_trajectory)
+            match = response.outcome.results.equivalent_to(truth)
+        self._crosschecks += 1
+        self.telemetry.metrics.counter(
+            "repro_crosschecks_total",
+            "failover responses verified against cpu_scan").inc(
+            result="match" if match else "mismatch")
+        self.telemetry.events.emit(
+            "crosscheck", request_id=request.request_id,
+            engine=response.metrics.engine, match=match)
+        if not match:
+            self.crosscheck_mismatches.append(request.request_id)
+
+    def _truth(self) -> CpuScanEngine:
+        if self._truth_engine is None:
+            self._truth_engine = CpuScanEngine(self.database)
+        return self._truth_engine
+
     # -- bookkeeping -------------------------------------------------------------
 
     def _record_degradation(self, request: SearchRequest, method: str,
-                            exc: Exception,
-                            metrics: RequestMetrics) -> None:
-        reason = f"{method}: {type(exc).__name__}: {exc}"
+                            reason: Exception | str | None,
+                            metrics: RequestMetrics, *,
+                            fallback: str) -> None:
+        if isinstance(reason, BaseException):
+            reason = f"{method}: {type(reason).__name__}: {reason}"
+        reason = reason or f"{method}: failed"
         metrics.degraded = True
         metrics.degradation_reason = reason
         self._degradations += 1
         self.telemetry.metrics.counter(
             "repro_degradations_total",
-            "requests degraded to the fallback engine").inc(
+            "requests degraded to a fallback engine").inc(
             from_method=method)
         self.telemetry.events.emit(
             "degradation",
             request_id=request.request_id,
             method=method,
-            fallback=self.FALLBACK_METHOD,
+            fallback=fallback,
             reason=reason,
         )
 

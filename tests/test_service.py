@@ -181,7 +181,10 @@ class TestAutoSelection:
 
 
 class TestDegradation:
-    def test_index_too_big_falls_back_to_cpu_scan(self, db_queries_truth):
+    def test_index_too_big_fails_over_down_the_ladder(self,
+                                                      db_queries_truth):
+        """Build OOM walks the failover ladder: the other GPU engines
+        also OOM on the tiny device, so the first CPU rung serves."""
         db, queries, d, truth = db_queries_truth
         tiny = DeviceSpec(name="tiny", num_cores=64, num_sms=2,
                           warp_size=32, clock_hz=1e9,
@@ -193,14 +196,16 @@ class TestDegradation:
                                    params={"num_bins": 40},
                                    request_id="r1"))
         assert resp.metrics.degraded
-        assert resp.metrics.engine == "cpu_scan"
+        assert resp.metrics.engine == "cpu_rtree"
+        assert resp.metrics.failovers == 3
         assert "DeviceOutOfMemoryError" in resp.metrics.degradation_reason
         assert resp.outcome.results.equivalent_to(truth)
         events = [e for e in svc.events if e["type"] == "degradation"]
         assert len(events) == 1
         assert events[0]["request_id"] == "r1"
-        assert events[0]["fallback"] == "cpu_scan"
+        assert events[0]["fallback"] == "cpu_rtree"
         assert svc.stats()["degradations"] == 1
+        assert svc.cache.stats.failed_builds == 3
 
     def test_degraded_engine_cached_for_next_batch(self, db_queries_truth):
         db, queries, d, truth = db_queries_truth

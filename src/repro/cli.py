@@ -20,7 +20,11 @@ figures    regenerate the paper's figures (series tables) at a scale
 report     assemble results/ artifacts into results/REPORT.md
 calibrate  re-fit and verify the cost-model constants
 chaos      run a seeded fault-injection campaign against the query
-           service and print the survival report
+           service and print the survival report (ingests fresh
+           trajectories mid-campaign so compaction runs under faults)
+ingest     replay a dataset as a live ingestion stream: part of the
+           trajectories seed the base index, the rest arrive in rounds
+           interleaved with query batches (delta overlay + compaction)
 
 Examples
 --------
@@ -35,6 +39,8 @@ python -m repro trace merger.npz --d 1.5 --num-devices 2 \\
     --out trace.json --spans spans.json --events events.jsonl
 python -m repro figures fig5 --scale 0.01
 python -m repro chaos --seed 7 --requests 200 --rate 0.15
+python -m repro ingest merger.npz --d 1.5 --rounds 6 \\
+    --arrivals-per-round 2 --max-delta 256
 """
 
 from __future__ import annotations
@@ -163,9 +169,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON instead of the "
                         "rendered summary")
+    p.add_argument("--ingest-every", type=int, default=13,
+                   help="ingest one fresh trajectory every Nth request "
+                        "(0 disables mid-campaign ingestion; "
+                        "default 13)")
     p.add_argument("--events", default=None, metavar="PATH",
                    help="write the structured telemetry event log as "
                         "JSON lines")
+
+    p = sub.add_parser(
+        "ingest", help="replay a dataset as a live ingestion stream "
+                       "against the query service")
+    p.add_argument("database", help=".npz produced by 'generate'")
+    p.add_argument("--d", type=float, required=True,
+                   help="query distance threshold")
+    p.add_argument("--method", default="auto",
+                   choices=sorted(ENGINE_REGISTRY) + ["auto"],
+                   help="engine, or 'auto' for planner-driven "
+                        "selection")
+    p.add_argument("--rounds", type=int, default=6,
+                   help="ingest+query rounds to drive (default 6)")
+    p.add_argument("--arrivals-per-round", type=int, default=2,
+                   help="trajectories ingested per round (default 2)")
+    p.add_argument("--initial-fraction", type=float, default=0.6,
+                   help="fraction of trajectories seeding the base "
+                        "index; the rest arrive as the stream "
+                        "(default 0.6)")
+    p.add_argument("--delete-every", type=int, default=0,
+                   help="tombstone the oldest ingested trajectory "
+                        "every Nth round (0 = never)")
+    p.add_argument("--max-delta", type=int, default=None,
+                   help="compaction trigger: delta rows before the "
+                        "service folds the delta into a fresh base "
+                        "(default: the policy default)")
+    p.add_argument("--num-devices", type=int, default=1,
+                   help="size of the simulated GPU pool")
+    p.add_argument("--query-trajectories", type=int, default=4,
+                   help="trajectories sampled as the repeated query "
+                        "batch (default 4)")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="fault-injection rate for a chaos-flavoured "
+                        "run (0 = no faults; faults can then fire "
+                        "mid-compaction)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the final stats as JSON instead of the "
+                        "rendered summary")
     return parser
 
 
@@ -563,7 +612,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     cfg = CampaignConfig(seed=args.seed, num_requests=args.requests,
                          injection_rate=args.rate,
                          num_devices=args.num_devices,
-                         batch_size=args.batch_size)
+                         batch_size=args.batch_size,
+                         ingest_every=args.ingest_every)
     report = run_campaign(cfg, telemetry=telemetry)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -574,6 +624,91 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"event log written to {args.events} "
               f"({len(telemetry.events)} events)")
     return 0 if report.ok else 1
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from .ingest import CompactionPolicy
+    from .service import QueryService, SearchRequest
+
+    database = load_segments(args.database)
+    ids = np.unique(database.traj_ids)
+    if len(ids) < 2:
+        print("repro ingest: error: the dataset needs at least two "
+              "trajectories to split into base + stream",
+              file=sys.stderr)
+        return 2
+    k = min(len(ids) - 1,
+            max(1, int(round(len(ids) * args.initial_fraction))))
+    base_ids, stream_ids = ids[:k], ids[k:]
+    base = database.take(
+        np.flatnonzero(np.isin(database.traj_ids, base_ids)))
+    queries = queries_from_database(
+        database, args.query_trajectories,
+        rng=np.random.default_rng(args.seed))
+
+    faults = None
+    if args.rate > 0:
+        from .faults import CampaignConfig, FaultInjector
+        faults = FaultInjector(
+            CampaignConfig(seed=args.seed,
+                           injection_rate=args.rate).fault_specs(),
+            seed=args.seed)
+    policy = (CompactionPolicy(max_delta_segments=args.max_delta)
+              if args.max_delta is not None else None)
+    svc = QueryService(base, num_devices=args.num_devices,
+                       faults=faults, compaction=policy)
+
+    print(f"base: {len(base)} segments / {len(base_ids)} trajectories; "
+          f"stream: {len(stream_ids)} trajectories over "
+          f"{args.rounds} rounds")
+    ingested: list[int] = []
+    deleted = 0
+    for r in range(args.rounds):
+        lo = r * args.arrivals_per_round
+        arriving = stream_ids[lo:lo + args.arrivals_per_round]
+        line = f"round {r + 1}:"
+        if len(arriving):
+            rows = database.take(
+                np.flatnonzero(np.isin(database.traj_ids, arriving)))
+            receipt = svc.ingest(rows)
+            ingested.extend(int(t) for t in arriving)
+            line += (f" +{receipt.num_segments} seg "
+                     f"({len(arriving)} traj)")
+        if (args.delete_every and ingested
+                and (r + 1) % args.delete_every == 0):
+            victim = ingested.pop(0)
+            hidden = svc.delete_trajectory(victim)
+            deleted += 1
+            line += f"  -traj {victim} ({hidden} seg tombstoned)"
+        resp = svc.submit(SearchRequest(
+            queries=queries, d=args.d, method=args.method,
+            request_id=f"round-{r}"))
+        m = resp.metrics
+        if resp.ok:
+            line += (f"  epoch {m.snapshot_epoch}  delta "
+                     f"{m.delta_segments:5d}  {m.engine:18s} "
+                     f"{len(resp.outcome.results):6d} results  "
+                     f"modeled {m.modeled_seconds:.6f} s  "
+                     f"(delta scan {m.delta_scan_s:.6f} s)  "
+                     f"{'cache-hit' if m.cache_hit else 'built'}")
+        else:
+            line += f"  rejected: {resp.status}"
+        print(line)
+    stats = svc.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    ing = stats["ingest"]
+    cache = stats["cache"]
+    print(f"ingested {ing['appended_segments']} segments over "
+          f"{ing['appends']} appends, {deleted} deletes, "
+          f"{ing['compactions']} compactions "
+          f"(base v{ing['base_version']}, epoch {ing['epoch']}); "
+          f"cache {cache['hits']} hits / {cache['misses']} misses / "
+          f"{cache['invalidations']} invalidations")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -592,6 +727,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": cmd_figures,
         "calibrate": cmd_calibrate,
         "chaos": cmd_chaos,
+        "ingest": cmd_ingest,
     }[args.command]
     return handler(args)
 

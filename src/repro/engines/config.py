@@ -20,6 +20,8 @@ from __future__ import annotations
 import difflib
 from dataclasses import asdict, dataclass, fields
 
+import numpy as np
+
 __all__ = [
     "CONFIG_REGISTRY",
     "ConfigError",
@@ -97,6 +99,11 @@ class EngineConfig:
                 raise ConfigError(
                     f"{cls.engine} engine: unknown parameter {key!r}{hint} "
                     f"(valid: {sorted(valid)})")
+        # Collapse NumPy scalars (np.int64(40), np.float64(0.5)) to the
+        # builtin equivalents: values that round-tripped through NumPy
+        # must validate and cache-key exactly like plain Python ones.
+        params = {k: (v.item() if isinstance(v, np.generic) else v)
+                  for k, v in params.items()}
         return cls(**params)
 
 

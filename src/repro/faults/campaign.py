@@ -4,15 +4,20 @@ A campaign builds a small deterministic trajectory database, wires a
 :class:`~repro.faults.injector.FaultInjector` covering every fault kind
 into a :class:`~repro.service.QueryService`, and drives a few hundred
 requests through it in batches — cycling engines, sprinkling impossible
-deadlines, and periodically "swapping the card" (reviving blacked-out
-lanes) so quarantine → probation → re-admission actually happens.
+deadlines, periodically "swapping the card" (reviving blacked-out
+lanes) so quarantine → probation → re-admission actually happens, and
+periodically *ingesting* fresh trajectories so the delta overlay and
+compaction run under fire (compaction prewarms engines on the virtual
+GPU, so injected faults fire mid-compaction too).
 
 Every successful response is verified against ``cpu_scan`` ground truth
-computed on the un-faulted database: *exact* result equality, plus a
-no-internal-duplicates check.  The produced :class:`CampaignReport` is
-the survival report the ``chaos`` CLI prints and the CI chaos job
-asserts on; because the injector, the dataset, and the request schedule
-are all seed-driven, the same seed reproduces the same report.
+computed on the un-faulted path over the database *version the batch
+was pinned to* (ingestion moves the truth; the epoch names which one):
+*exact* result equality, plus a no-internal-duplicates check.  The
+produced :class:`CampaignReport` is the survival report the ``chaos``
+CLI prints and the CI chaos job asserts on; because the injector, the
+dataset, and the request schedule are all seed-driven, the same seed
+reproduces the same report.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from ..core.result import ResultSet
 from ..core.types import SegmentArray, Trajectory
 from ..engines.base import RetryPolicy
 from ..engines.cpu_scan import CpuScanEngine
+from ..ingest import CompactionPolicy
 from ..obs import Telemetry
 from ..service import QueryService, SearchRequest
 from .injector import FaultInjector, FaultSpec
@@ -74,6 +80,16 @@ class CampaignConfig:
     #: every Nth GPU request uses a tiny result buffer, forcing the
     #: overflow retry/backoff path (0 = never).
     small_buffer_every: int = 4
+    #: every Nth request, ingest one fresh trajectory into the live
+    #: service (0 = never) — exercises the delta overlay under faults
+    #: and, via the tight compaction policy below, compaction + cache
+    #: prewarm while the injector is armed.
+    ingest_every: int = 13
+    #: timesteps of each ingested trajectory (steps-1 segments).
+    ingest_steps: int = 6
+    #: compaction trigger: delta rows before the service folds the
+    #: delta into a fresh base (small, so campaigns actually compact).
+    compaction_max_delta: int = 64
     #: queue-pressure shedding limit handed to the service (None = off).
     max_queue_delay_s: float | None = None
     #: service recovery tuning, sized to the campaign's modeled scale
@@ -129,6 +145,9 @@ class CampaignConfig:
             "deadline_every": self.deadline_every,
             "revive_every": self.revive_every,
             "small_buffer_every": self.small_buffer_every,
+            "ingest_every": self.ingest_every,
+            "ingest_steps": self.ingest_steps,
+            "compaction_max_delta": self.compaction_max_delta,
             "max_queue_delay_s": self.max_queue_delay_s,
             "lane_quarantine_s": self.lane_quarantine_s,
             "breaker_reset_s": self.breaker_reset_s,
@@ -206,6 +225,14 @@ class CampaignReport:
         svc = self.service
         if svc:
             cache = svc.get("cache", {})
+            ing = svc.get("ingest", {})
+            lines += [
+                f"  ingests             {ing.get('appends', 0)} "
+                f"(+{ing.get('appended_segments', 0)} segments)",
+                f"  compactions         {ing.get('compactions', 0)}",
+                f"  prewarm failures    "
+                f"{ing.get('prewarm_failures', 0)}",
+            ]
             lines += [
                 f"  lane quarantines    "
                 f"{sum(h.get('quarantine_count', 0) for h in svc.get('lane_health', {}).values())}",
@@ -237,11 +264,6 @@ def run_campaign(config: CampaignConfig | None = None, *,
                  seed=cfg.seed + 1000 + i, id_offset=10_000 + 100 * i)
         for i in range(cfg.num_query_sets)
     ]
-    truth_engine = CpuScanEngine(database)
-    truths: list[ResultSet] = [
-        truth_engine.search(qs, cfg.d)[0].canonical()
-        for qs in query_sets
-    ]
 
     injector = FaultInjector(cfg.fault_specs(), seed=cfg.seed)
     svc = QueryService(
@@ -251,7 +273,26 @@ def run_campaign(config: CampaignConfig | None = None, *,
         max_queue_delay_s=cfg.max_queue_delay_s,
         lane_quarantine_s=cfg.lane_quarantine_s,
         breaker_reset_s=cfg.breaker_reset_s,
-        crosscheck_every=cfg.crosscheck_every)
+        crosscheck_every=cfg.crosscheck_every,
+        compaction=CompactionPolicy(
+            max_delta_segments=cfg.compaction_max_delta))
+
+    # Ground truth moves when the campaign ingests: compute it lazily
+    # per (epoch, query set) over the snapshot each batch was pinned
+    # to, on the un-faulted CPU path.
+    truth_engines: dict[int, CpuScanEngine] = {}
+    truths: dict[tuple[int, int], ResultSet] = {}
+
+    def truth_for(snap, qi: int) -> ResultSet:
+        key = (snap.epoch, qi)
+        if key not in truths:
+            engine = truth_engines.get(snap.epoch)
+            if engine is None:
+                engine = CpuScanEngine(snap.logical())
+                truth_engines[snap.epoch] = engine
+            truths[key] = engine.search(
+                query_sets[qi], cfg.d)[0].canonical()
+        return truths[key]
 
     report = CampaignReport(config=cfg.to_dict())
     pending: list[tuple[SearchRequest, int]] = []
@@ -259,6 +300,7 @@ def run_campaign(config: CampaignConfig | None = None, *,
     def flush() -> None:
         if not pending:
             return
+        snap = svc.current_snapshot()
         responses = svc.submit_batch([req for req, _ in pending])
         for (req, qi), resp in zip(pending, responses):
             if not resp.ok:
@@ -271,7 +313,7 @@ def run_campaign(config: CampaignConfig | None = None, *,
             if resp.ok:
                 report.failover_hops += resp.metrics.failovers
                 results = resp.outcome.results
-                exact = (results.equivalent_to(truths[qi])
+                exact = (results.equivalent_to(truth_for(snap, qi))
                          and len(results.deduplicated())
                          == len(results))
                 if exact:
@@ -284,6 +326,13 @@ def run_campaign(config: CampaignConfig | None = None, *,
         if cfg.revive_every and i and i % cfg.revive_every == 0:
             for lane in sorted(injector.dead_lanes):
                 injector.revive(lane)
+        if cfg.ingest_every and i and i % cfg.ingest_every == 0:
+            # Live ingestion: one fresh trajectory lands in the delta;
+            # pending requests were not submitted yet, so the whole
+            # batch pins the post-ingest snapshot at flush time.
+            svc.ingest(_walk_db(1, cfg.ingest_steps,
+                                seed=cfg.seed + 5000 + i,
+                                id_offset=50_000 + i))
         qi = i % len(query_sets)
         method = cfg.methods[i % len(cfg.methods)]
         params = {}

@@ -242,6 +242,12 @@ class RequestMetrics:
     #: ``{"lane": int, "start_s": float, "dur_s": float, "shard": int}``
     #: (lane -1 = host).  Feeds the multi-lane Chrome trace exporter.
     lane_spans: list = field(default_factory=list)
+    #: database epoch of the snapshot the request was pinned to.
+    snapshot_epoch: int = 0
+    #: live delta rows overlaid on the base results (0 = clean base).
+    delta_segments: int = 0
+    #: modeled seconds of the brute-force delta-overlay scan.
+    delta_scan_s: float = 0.0
 
     def to_dict(self) -> dict:
         """JSON-friendly representation."""
@@ -260,6 +266,9 @@ class RequestMetrics:
             "failovers": int(self.failovers),
             "arrival_s": float(self.arrival_s),
             "lane_spans": [dict(s) for s in self.lane_spans],
+            "snapshot_epoch": int(self.snapshot_epoch),
+            "delta_segments": int(self.delta_segments),
+            "delta_scan_s": float(self.delta_scan_s),
         }
 
     @classmethod
@@ -277,4 +286,7 @@ class RequestMetrics:
             arrival_s=float(payload.get("arrival_s", 0.0)),
             lane_spans=[dict(s)
                         for s in payload.get("lane_spans", [])],
+            snapshot_epoch=int(payload.get("snapshot_epoch", 0)),
+            delta_segments=int(payload.get("delta_segments", 0)),
+            delta_scan_s=float(payload.get("delta_scan_s", 0.0)),
         )

@@ -1,0 +1,453 @@
+"""The versioned database: base + delta + tombstones under an epoch.
+
+:class:`VersionedDatabase` is the single writer-side object; everything
+readers touch is an immutable :class:`Snapshot`.  The contract that the
+differential tests pin down: for any sequence of appends, deletes, and
+compactions, a search over a snapshot must equal a search over a
+from-scratch database built from :meth:`Snapshot.logical` — compaction
+and the delta overlay are performance mechanisms, never semantics.
+
+Epoch bookkeeping
+-----------------
+* ``epoch`` increments on *every* mutation (append, delete, compact) —
+  it names a logical database state, and MVCC pinning is "remember the
+  snapshot, which remembers its epoch".
+* ``delta_epoch`` increments on append/delete and resets to 0 at
+  compaction — together with the base fingerprint it names the exact
+  physical layout ``(base_fingerprint, delta_epoch)``.
+* ``base_version`` increments only at compaction: cheap integer proxy
+  for "the expensive indexes are stale".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.result import ResultSet
+from ..core.types import SegmentArray, Trajectory, concatenate
+
+__all__ = ["CompactionPolicy", "CompactionResult", "IngestError",
+           "IngestReceipt", "Snapshot", "VersionedDatabase"]
+
+
+class IngestError(ValueError):
+    """A mutation the versioned database cannot honor."""
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When to fold the delta into a fresh base.
+
+    Compaction triggers when *either* bound is crossed:
+
+    * ``max_delta_segments`` — absolute cap on delta rows (the delta is
+      scanned brute-force per query, so its cost is linear in this);
+    * ``max_delta_ratio`` — delta rows over base rows: keeps the scan a
+      bounded *fraction* of query work as the database grows;
+    * any tombstones at all count toward pressure via
+      ``max_tombstone_ratio`` (tombstoned base rows still occupy the
+      index and are filtered on every query).
+    """
+
+    max_delta_segments: int = 4096
+    max_delta_ratio: float = 0.25
+    max_tombstone_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_delta_segments < 1:
+            raise ValueError("max_delta_segments must be >= 1")
+        if self.max_delta_ratio <= 0:
+            raise ValueError("max_delta_ratio must be positive")
+        if self.max_tombstone_ratio <= 0:
+            raise ValueError("max_tombstone_ratio must be positive")
+
+    def should_compact(self, *, delta_rows: int, base_rows: int,
+                       tombstoned_rows: int) -> bool:
+        if delta_rows >= self.max_delta_segments:
+            return True
+        if base_rows and delta_rows / base_rows > self.max_delta_ratio:
+            return True
+        return bool(base_rows) and (tombstoned_rows / base_rows
+                                    > self.max_tombstone_ratio)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"max_delta_segments": self.max_delta_segments,
+                "max_delta_ratio": self.max_delta_ratio,
+                "max_tombstone_ratio": self.max_tombstone_ratio}
+
+
+@dataclass(frozen=True)
+class IngestReceipt:
+    """What one append did (returned to the client)."""
+
+    epoch: int
+    delta_epoch: int
+    num_segments: int
+    trajectory_ids: tuple[int, ...]
+    #: database-wide segment ids assigned to the appended rows.
+    seg_ids: tuple[int, ...]
+    #: True when this append pushed the delta over the policy bounds
+    #: (the owner decides when to actually run the compaction).
+    compaction_due: bool
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"epoch": self.epoch, "delta_epoch": self.delta_epoch,
+                "num_segments": self.num_segments,
+                "trajectory_ids": list(self.trajectory_ids),
+                "seg_ids": list(self.seg_ids),
+                "compaction_due": self.compaction_due}
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one compaction did."""
+
+    epoch: int
+    base_version: int
+    #: delta rows merged into the new base.
+    merged_segments: int
+    #: tombstoned rows dropped (from base and delta combined).
+    dropped_segments: int
+    new_base_rows: int
+    wall_seconds: float
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"epoch": self.epoch, "base_version": self.base_version,
+                "merged_segments": self.merged_segments,
+                "dropped_segments": self.dropped_segments,
+                "new_base_rows": self.new_base_rows,
+                "wall_seconds": self.wall_seconds}
+
+
+class Snapshot:
+    """One immutable, queryable view of the versioned database.
+
+    A snapshot pins the exact ``(base, delta, tombstones)`` triple that
+    existed when it was taken; the writer mutating the
+    :class:`VersionedDatabase` afterwards never changes it (MVCC).  All
+    derived views (:meth:`logical`, the live delta, the seg→trajectory
+    map) are computed lazily and cached on the snapshot itself, so
+    repeated queries against one snapshot pay the materialization once.
+    """
+
+    def __init__(self, *, base: SegmentArray, delta: SegmentArray,
+                 tombstones: frozenset[int], epoch: int,
+                 delta_epoch: int, base_version: int) -> None:
+        self.base = base
+        self.delta = delta
+        self.tombstones = tombstones
+        self.epoch = epoch
+        self.delta_epoch = delta_epoch
+        self.base_version = base_version
+        self._logical: SegmentArray | None = None
+        self._live_delta: SegmentArray | None = None
+        self._seg_sorted: np.ndarray | None = None
+        self._traj_by_seg: np.ndarray | None = None
+
+    def __repr__(self) -> str:
+        return (f"Snapshot(epoch={self.epoch}, base={len(self.base)}, "
+                f"delta={len(self.delta)}, "
+                f"tombstones={len(self.tombstones)})")
+
+    @property
+    def clean(self) -> bool:
+        """True when the snapshot is pure base: no delta, no tombstones
+        — the overlay machinery can be skipped entirely."""
+        return len(self.delta) == 0 and not self.tombstones
+
+    @property
+    def num_logical_segments(self) -> int:
+        return len(self.base) + len(self.delta) \
+            - self.num_tombstoned_rows
+
+    @property
+    def num_tombstoned_rows(self) -> int:
+        if not self.tombstones:
+            return 0
+        dead = self._tombstone_array()
+        return int(np.isin(self.base.traj_ids, dead).sum()
+                   + np.isin(self.delta.traj_ids, dead).sum())
+
+    def _tombstone_array(self) -> np.ndarray:
+        return np.fromiter(sorted(self.tombstones), dtype=np.int64,
+                           count=len(self.tombstones))
+
+    # -- derived views (lazy, cached on the snapshot) ----------------------------
+
+    def live_delta(self) -> SegmentArray:
+        """Delta rows not hidden by a tombstone, in append order."""
+        if self._live_delta is None:
+            if not self.tombstones or len(self.delta) == 0:
+                self._live_delta = self.delta
+            else:
+                keep = ~np.isin(self.delta.traj_ids,
+                                self._tombstone_array())
+                self._live_delta = self.delta.take(np.flatnonzero(keep))
+        return self._live_delta
+
+    def logical(self) -> SegmentArray:
+        """The logical database this snapshot answers queries over:
+        live base rows (base order) followed by live delta rows (append
+        order), original seg_ids preserved.
+
+        This is exactly what a from-scratch rebuild would index — the
+        differential harness asserts query equality against it.
+        """
+        if self._logical is None:
+            base = self.base
+            if self.tombstones:
+                keep = ~np.isin(base.traj_ids, self._tombstone_array())
+                base = base.take(np.flatnonzero(keep))
+            live = self.live_delta()
+            self._logical = (base if len(live) == 0
+                             else concatenate([base, live]))
+        return self._logical
+
+    # -- tombstone filtering at refinement ---------------------------------------
+
+    def _seg_to_traj(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted seg_ids, traj_id per sorted row)`` over base+delta."""
+        if self._seg_sorted is None:
+            seg = np.concatenate([self.base.seg_ids,
+                                  self.delta.seg_ids])
+            traj = np.concatenate([self.base.traj_ids,
+                                   self.delta.traj_ids])
+            order = np.argsort(seg, kind="stable")
+            self._seg_sorted = seg[order]
+            self._traj_by_seg = traj[order]
+        return self._seg_sorted, self._traj_by_seg
+
+    def filter_tombstoned(self, results: ResultSet) -> ResultSet:
+        """Drop result items whose *entry* belongs to a tombstoned
+        trajectory.
+
+        The base index still contains tombstoned segments (deletes never
+        touch it); this is the refinement-time filter that hides them.
+        """
+        if not self.tombstones or len(results) == 0:
+            return results
+        seg_sorted, traj_by_seg = self._seg_to_traj()
+        pos = np.searchsorted(seg_sorted, results.e_ids)
+        pos = np.clip(pos, 0, len(seg_sorted) - 1)
+        traj = traj_by_seg[pos]
+        # Unknown e_ids (not in this snapshot) can't be tombstoned.
+        known = seg_sorted[pos] == results.e_ids
+        dead = known & np.isin(traj, self._tombstone_array())
+        if not dead.any():
+            return results
+        keep = np.flatnonzero(~dead)
+        return ResultSet(results.q_ids[keep], results.e_ids[keep],
+                         results.t_lo[keep], results.t_hi[keep])
+
+
+class VersionedDatabase:
+    """Writer-side state: the mutable log over an immutable base.
+
+    Parameters
+    ----------
+    base:
+        Initial (non-empty) segment database; becomes base version 0.
+    policy:
+        Compaction trigger bounds (default :class:`CompactionPolicy`).
+
+    Mutations (:meth:`append`, :meth:`delete_trajectory`,
+    :meth:`compact`) bump the epoch and invalidate the cached snapshot;
+    :meth:`snapshot` is cheap when nothing changed.
+    """
+
+    def __init__(self, base: SegmentArray, *,
+                 policy: CompactionPolicy | None = None) -> None:
+        if len(base) == 0:
+            raise ValueError("versioned database needs a non-empty base")
+        self.policy = policy or CompactionPolicy()
+        self._base = base
+        self._delta_parts: list[SegmentArray] = []
+        self._delta_rows = 0
+        self._tombstones: set[int] = set()
+        self._epoch = 0
+        self._delta_epoch = 0
+        self._base_version = 0
+        self._next_seg_id = int(base.seg_ids.max()) + 1
+        self._snapshot: Snapshot | None = None
+        #: lifetime counters (exposed through service stats).
+        self.total_appends = 0
+        self.total_appended_segments = 0
+        self.total_deletes = 0
+        self.total_compactions = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def delta_epoch(self) -> int:
+        return self._delta_epoch
+
+    @property
+    def base_version(self) -> int:
+        return self._base_version
+
+    @property
+    def base(self) -> SegmentArray:
+        return self._base
+
+    @property
+    def delta_rows(self) -> int:
+        return self._delta_rows
+
+    @property
+    def num_tombstones(self) -> int:
+        return len(self._tombstones)
+
+    def should_compact(self) -> bool:
+        """Has the delta (or tombstone load) crossed the policy bounds?"""
+        return self.policy.should_compact(
+            delta_rows=self._delta_rows,
+            base_rows=len(self._base),
+            tombstoned_rows=self.snapshot().num_tombstoned_rows)
+
+    def stats(self) -> dict:
+        """JSON-friendly counters for dashboards and reports."""
+        return {
+            "epoch": self._epoch,
+            "delta_epoch": self._delta_epoch,
+            "base_version": self._base_version,
+            "base_rows": len(self._base),
+            "delta_rows": self._delta_rows,
+            "tombstones": len(self._tombstones),
+            "appends": self.total_appends,
+            "appended_segments": self.total_appended_segments,
+            "deletes": self.total_deletes,
+            "compactions": self.total_compactions,
+        }
+
+    # -- reads -------------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """The current immutable view (cached until the next mutation)."""
+        if self._snapshot is None:
+            delta = (concatenate(self._delta_parts)
+                     if self._delta_parts else SegmentArray.empty())
+            self._snapshot = Snapshot(
+                base=self._base, delta=delta,
+                tombstones=frozenset(self._tombstones),
+                epoch=self._epoch, delta_epoch=self._delta_epoch,
+                base_version=self._base_version)
+        return self._snapshot
+
+    # -- mutations ---------------------------------------------------------------
+
+    def append(self, segments: SegmentArray | Trajectory |
+               list[Trajectory]) -> IngestReceipt:
+        """Append new segments to the delta log.
+
+        Accepts a :class:`Trajectory`, a list of them, or a raw
+        :class:`SegmentArray`.  Fresh database-wide ``seg_ids`` are
+        assigned (the caller's ids, if any, are ignored — entry ids are
+        owned by the database).  Appending to a tombstoned trajectory id
+        is rejected: the tombstone hides *all* segments of that id, so
+        the append would be silently invisible; re-use the id after a
+        compaction has physically dropped the old rows.
+        """
+        if isinstance(segments, Trajectory):
+            segments = [segments]
+        if isinstance(segments, list):
+            segments = SegmentArray.from_trajectories(segments)
+        if not isinstance(segments, SegmentArray):
+            raise TypeError("append expects a SegmentArray, a "
+                            "Trajectory, or a list of Trajectory")
+        if len(segments) == 0:
+            raise IngestError("nothing to append: the segment set is "
+                              "empty (single-point trajectories carry "
+                              "no segments)")
+        dead = self._tombstones.intersection(
+            np.unique(segments.traj_ids).tolist())
+        if dead:
+            raise IngestError(
+                f"trajectory ids {sorted(dead)} are tombstoned; "
+                f"compact before re-using a deleted id")
+        n = len(segments)
+        seg_ids = np.arange(self._next_seg_id,
+                            self._next_seg_id + n, dtype=np.int64)
+        stamped = SegmentArray(
+            segments.xs, segments.ys, segments.zs, segments.ts,
+            segments.xe, segments.ye, segments.ze, segments.te,
+            segments.traj_ids, seg_ids)
+        self._next_seg_id += n
+        self._delta_parts.append(stamped)
+        self._delta_rows += n
+        self._bump(delta=True)
+        self.total_appends += 1
+        self.total_appended_segments += n
+        return IngestReceipt(
+            epoch=self._epoch, delta_epoch=self._delta_epoch,
+            num_segments=n,
+            trajectory_ids=tuple(int(t) for t in
+                                 np.unique(stamped.traj_ids)),
+            seg_ids=tuple(int(s) for s in seg_ids),
+            compaction_due=self.should_compact())
+
+    def delete_trajectory(self, traj_id: int) -> int:
+        """Tombstone one trajectory; returns the number of segments the
+        tombstone hides (base + delta).  Deleting an unknown id raises
+        (a typo should not silently 'succeed')."""
+        traj_id = int(traj_id)
+        if traj_id in self._tombstones:
+            return 0
+        hidden = int((self._base.traj_ids == traj_id).sum())
+        for part in self._delta_parts:
+            hidden += int((part.traj_ids == traj_id).sum())
+        if hidden == 0:
+            raise IngestError(f"trajectory {traj_id} is not in the "
+                              f"database")
+        if self.snapshot().num_logical_segments - hidden <= 0:
+            raise IngestError(
+                "refusing to delete the last live trajectory: the "
+                "database must stay non-empty")
+        self._tombstones.add(traj_id)
+        self._bump(delta=True)
+        self.total_deletes += 1
+        return hidden
+
+    def compact(self) -> CompactionResult:
+        """Fold the delta into a fresh base, dropping tombstoned rows.
+
+        The new base is exactly :meth:`Snapshot.logical` of the
+        pre-compaction state — seg_ids and relative order preserved —
+        so query results cannot change across a compaction; only the
+        physical layout (and therefore the index builds) does.
+        """
+        wall0 = time.perf_counter()
+        snap = self.snapshot()
+        merged = len(snap.live_delta())
+        dropped = snap.num_tombstoned_rows
+        new_base = snap.logical()
+        if len(new_base) == 0:
+            raise IngestError("compaction would empty the database")
+        self._base = new_base
+        self._delta_parts = []
+        self._delta_rows = 0
+        self._tombstones = set()
+        self._base_version += 1
+        self._delta_epoch = 0
+        self._bump(delta=False)
+        self.total_compactions += 1
+        return CompactionResult(
+            epoch=self._epoch, base_version=self._base_version,
+            merged_segments=merged, dropped_segments=dropped,
+            new_base_rows=len(new_base),
+            wall_seconds=time.perf_counter() - wall0)
+
+    def _bump(self, *, delta: bool) -> None:
+        self._epoch += 1
+        if delta:
+            self._delta_epoch += 1
+        self._snapshot = None

@@ -7,6 +7,9 @@ once the index exists:
 
 * amortizing the offline index build across batches (the engine cache),
 * choosing the right engine per workload (planner-driven ``"auto"``),
+* mutating the database without rebuilds: appends and deletes land in
+  a versioned delta (:mod:`repro.ingest`), queries pin MVCC snapshots,
+  and compaction folds the delta into a fresh base off the hot path,
 * and surviving failures: a deterministic failover ladder (other GPU
   engines → ``cpu_rtree`` → ``cpu_scan``), per-engine circuit breakers,
   per-lane quarantine with probational re-admission, per-request
@@ -26,6 +29,8 @@ Entry point::
     resp.metrics.failovers     # ladder hops before an engine answered
 """
 
+from ..ingest import (CompactionPolicy, CompactionResult, IngestError,
+                      IngestReceipt, Snapshot, VersionedDatabase)
 from .cache import (CacheEntry, CacheStats, EngineCache,
                     canonical_params, database_fingerprint)
 from .requests import RESPONSE_STATUSES, SearchRequest, SearchResponse
@@ -36,15 +41,21 @@ __all__ = [
     "CacheEntry",
     "CacheStats",
     "CircuitBreaker",
+    "CompactionPolicy",
+    "CompactionResult",
     "DeviceLane",
     "DevicePool",
     "EngineCache",
+    "IngestError",
+    "IngestReceipt",
     "LaneHealth",
     "NoUsableLaneError",
     "QueryService",
     "RESPONSE_STATUSES",
     "SearchRequest",
     "SearchResponse",
+    "Snapshot",
+    "VersionedDatabase",
     "canonical_params",
     "database_fingerprint",
 ]

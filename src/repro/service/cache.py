@@ -45,14 +45,30 @@ def database_fingerprint(database: SegmentArray) -> str:
 
 
 def _hashable(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        # np.int64(40) etc. hash/compare differently from the Python
+        # scalar across dict round-trips; canonicalize to the builtin.
+        value = value.item()
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _hashable(v))
+                            for k, v in value.items()))
     if isinstance(value, (list, tuple)):
         return tuple(_hashable(v) for v in value)
+    if isinstance(value, np.ndarray):
+        return (value.shape, tuple(value.ravel().tolist()))
     return value
 
 
 def canonical_params(params: dict) -> tuple:
-    """Deterministic, hashable view of an engine-parameter dict."""
-    return tuple(sorted((k, _hashable(v)) for k, v in params.items()))
+    """Deterministic, hashable view of an engine-parameter dict.
+
+    Logically-equal dicts must canonicalize identically or the engine
+    cache silently rebuilds: nested dicts are flattened to sorted item
+    tuples, NumPy scalars collapse to their Python equivalents, and
+    lists/tuples/arrays become plain tuples.
+    """
+    return tuple(sorted((str(k), _hashable(v))
+                        for k, v in params.items()))
 
 
 @dataclass
@@ -163,8 +179,16 @@ class EngineCache:
         its device-resident indexes are gone).  ``on_evict`` runs for
         each dropped entry so pool residency stays balanced.  Returns
         the number of entries dropped."""
+        return self.invalidate_where(lambda e: e.lane == lane)
+
+    def invalidate_where(self, predicate: Callable[[CacheEntry], bool]
+                         ) -> int:
+        """Drop every entry matching ``predicate`` (quarantined lane,
+        compacted-away base, ...), counting them as invalidations, not
+        LRU evictions.  ``on_evict`` runs for each dropped entry so
+        pool residency stays balanced.  Returns the number dropped."""
         victims = [key for key, e in self._entries.items()
-                   if e.lane == lane]
+                   if predicate(e)]
         for key in victims:
             entry = self._entries.pop(key)
             self.stats.invalidations += 1

@@ -70,6 +70,8 @@ from ..engines.cpu_scan import CpuScanEngine
 from ..gpu.costmodel import CostBreakdown, CpuCostModel, GpuCostModel
 from ..gpu.device import DeviceSpec, TESLA_C2075, VirtualGPU
 from ..gpu.profiler import CpuSearchProfile, RequestMetrics, SearchProfile
+from ..ingest import (CompactionPolicy, CompactionResult, IngestReceipt,
+                      Snapshot, VersionedDatabase, overlay_search)
 from ..obs import Telemetry
 from .cache import (CacheEntry, EngineCache, canonical_params,
                     database_fingerprint)
@@ -269,14 +271,19 @@ class QueryService:
                  breaker_reset_s: float = 30.0,
                  lane_failure_threshold: int = 3,
                  lane_quarantine_s: float = 60.0,
-                 crosscheck_every: int = 8) -> None:
+                 crosscheck_every: int = 8,
+                 compaction: CompactionPolicy | None = None,
+                 auto_compact: bool = True) -> None:
         if len(database) == 0:
             raise ValueError("service needs a non-empty database")
         if max_queue_delay_s is not None and max_queue_delay_s < 0:
             raise ValueError("max_queue_delay_s must be >= 0 (or None)")
         if crosscheck_every < 0:
             raise ValueError("crosscheck_every must be >= 0")
-        self.database = database
+        #: the live, versioned database: appends/tombstones land in its
+        #: delta; the engines index its (stable) base.
+        self.versioned = VersionedDatabase(database, policy=compaction)
+        self.auto_compact = auto_compact
         self.pool = DevicePool(num_devices, spec,
                                failure_threshold=lane_failure_threshold,
                                quarantine_s=lane_quarantine_s)
@@ -293,7 +300,6 @@ class QueryService:
         self.breaker_threshold = breaker_threshold
         self.breaker_reset_s = breaker_reset_s
         self.crosscheck_every = crosscheck_every
-        self.fingerprint = database_fingerprint(database)
         #: the unified telemetry hub: metrics registry, tracer,
         #: structured event log, slow-query log.
         self.telemetry = telemetry or Telemetry()
@@ -307,8 +313,33 @@ class QueryService:
         #: ground truth (expected to stay empty).
         self.crosscheck_mismatches: list[str] = []
         self._breakers: dict[str, CircuitBreaker] = {}
-        self._truth_engine: CpuScanEngine | None = None
-        self._shard_cache: dict[tuple[str, int], list[SegmentArray]] = {}
+        self._truth_cache: tuple[int, CpuScanEngine] | None = None
+        self._shard_cache: dict[tuple, list[SegmentArray]] = {}
+        self._fp_version = -1
+        self._fp = ""
+        self._prewarm_failures = 0
+
+    @property
+    def database(self) -> SegmentArray:
+        """The current *base* — what the cached indexes are built over.
+
+        Appends live in the delta until compaction folds them in; use
+        ``current_snapshot().logical()`` for the full logical database.
+        """
+        return self.versioned.base
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the current base (cache-key root).
+
+        Stable across appends and deletes — only a compaction, which
+        physically rewrites the base, changes it.  That stability is
+        what lets a warm base engine survive ingestion.
+        """
+        if self._fp_version != self.versioned.base_version:
+            self._fp = database_fingerprint(self.versioned.base)
+            self._fp_version = self.versioned.base_version
+        return self._fp
 
     @property
     def events(self) -> list[dict]:
@@ -324,11 +355,13 @@ class QueryService:
 
     # -- public API ---------------------------------------------------------------
 
-    def submit(self, request: SearchRequest) -> SearchResponse:
+    def submit(self, request: SearchRequest, *,
+               snapshot: Snapshot | None = None) -> SearchResponse:
         """Serve one request (a batch of one)."""
-        return self.submit_batch([request])[0]
+        return self.submit_batch([request], snapshot=snapshot)[0]
 
-    def submit_batch(self, requests: list[SearchRequest]
+    def submit_batch(self, requests: list[SearchRequest], *,
+                     snapshot: Snapshot | None = None
                      ) -> list[SearchResponse]:
         """Serve a batch of requests arriving together.
 
@@ -337,16 +370,177 @@ class QueryService:
         it, so requests on different devices overlap while requests
         contending for one index serialize — that contention is exactly
         what ``queue_wait_s`` reports.
+
+        The whole batch is served against one *pinned*
+        :class:`~repro.ingest.Snapshot` — by default the database state
+        at arrival, MVCC-style; a client that captured an earlier
+        ``current_snapshot()`` may pass it to read that version even
+        after later ingests or compactions.
         """
         arrival = self._clock
+        snapshot = snapshot or self.versioned.snapshot()
         with self.telemetry.activate(), \
                 self.telemetry.span("service.batch",
-                                    batch_size=len(requests)) as span:
-            responses = [self._serve(r, arrival) for r in requests]
+                                    batch_size=len(requests),
+                                    epoch=snapshot.epoch) as span:
+            responses = [self._serve(r, arrival, snapshot)
+                         for r in requests]
             span.set_modeled(arrival,
                              self.pool.busiest_until() - arrival)
         self._clock = max(self._clock, self.pool.busiest_until())
         return responses
+
+    def current_snapshot(self) -> Snapshot:
+        """Pin the current database version (see
+        :meth:`submit_batch`)."""
+        return self.versioned.snapshot()
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def ingest(self, segments) -> IngestReceipt:
+        """Append trajectory segments without rebuilding the base index.
+
+        Accepts whatever :meth:`~repro.ingest.VersionedDatabase.append`
+        accepts (a :class:`~repro.core.types.Trajectory`, a list of
+        them, or a raw :class:`~repro.core.types.SegmentArray`).  The
+        rows land in the delta; queries see them immediately through
+        the delta-overlay scan while every warm base engine stays
+        cached.  When the append pushes the delta over the compaction
+        policy and ``auto_compact`` is on, compaction runs before
+        returning (off the query hot path — no request is in flight
+        between batches).
+        """
+        with self.telemetry.activate(), \
+                self.telemetry.span("service.ingest") as span:
+            receipt = self.versioned.append(segments)
+            span.set_attributes(epoch=receipt.epoch,
+                                segments=receipt.num_segments)
+            reg = self.telemetry.metrics
+            reg.counter("repro_ingest_total",
+                        "ingest (append) operations").inc()
+            reg.counter("repro_ingest_segments_total",
+                        "segments appended to the delta").inc(
+                receipt.num_segments)
+            self._gauge_ingest()
+            self.telemetry.events.emit(
+                "ingest", epoch=receipt.epoch,
+                delta_epoch=receipt.delta_epoch,
+                segments=receipt.num_segments,
+                trajectories=list(receipt.trajectory_ids),
+                compaction_due=receipt.compaction_due)
+            if receipt.compaction_due and self.auto_compact:
+                self._compact(trigger="policy")
+        return receipt
+
+    def delete_trajectory(self, traj_id: int) -> int:
+        """Tombstone one trajectory; its segments disappear from query
+        results at refinement time.  The base index is untouched — the
+        rows are physically dropped at the next compaction.  Returns
+        the number of segments hidden."""
+        with self.telemetry.activate(), \
+                self.telemetry.span("service.delete",
+                                    traj_id=int(traj_id)):
+            hidden = self.versioned.delete_trajectory(traj_id)
+            reg = self.telemetry.metrics
+            reg.counter("repro_tombstones_total",
+                        "trajectories tombstoned").inc()
+            self._gauge_ingest()
+            self.telemetry.events.emit(
+                "delete", traj_id=int(traj_id),
+                epoch=self.versioned.epoch, hidden_segments=hidden)
+            if self.auto_compact and self.versioned.should_compact():
+                self._compact(trigger="policy")
+        return hidden
+
+    def compact(self) -> CompactionResult:
+        """Force a compaction now (policy thresholds ignored)."""
+        with self.telemetry.activate():
+            return self._compact(trigger="manual")
+
+    def _compact(self, *, trigger: str) -> CompactionResult:
+        """Fold the delta into a fresh base and re-warm the cache.
+
+        Engines cached for the outgoing base are remembered, the stale
+        entries invalidated, and the same (method, params) engines are
+        rebuilt over the new base *inside this call* — off the query
+        hot path, but on the virtual GPU like any other build, so
+        injected faults (chaos) can and do fire mid-compaction.  A
+        failed prewarm build is logged and skipped: the next request
+        simply pays a cache miss (or walks the failover ladder).
+        """
+        old_fp = self.fingerprint
+        warm = [(e.key[1], e.key[2]) for e in self.cache.entries()
+                if self._key_base(e.key) == old_fp]
+        with self.telemetry.span("service.compaction",
+                                 trigger=trigger) as span:
+            result = self.versioned.compact()
+            span.set_attributes(merged=result.merged_segments,
+                                dropped=result.dropped_segments,
+                                base_rows=result.new_base_rows)
+            reg = self.telemetry.metrics
+            reg.counter("repro_compactions_total",
+                        "delta-into-base compactions").inc(
+                trigger=trigger)
+            reg.histogram("repro_compaction_seconds",
+                          "compaction wall seconds").observe(
+                result.wall_seconds)
+            stale = self._invalidate_stale_bases()
+            self._shard_cache.clear()
+            self._gauge_ingest()
+            self.telemetry.events.emit(
+                "compaction", trigger=trigger, epoch=result.epoch,
+                base_version=result.base_version,
+                merged_segments=result.merged_segments,
+                dropped_segments=result.dropped_segments,
+                new_base_rows=result.new_base_rows,
+                stale_entries=stale, prewarm=len(warm))
+            snapshot = self.versioned.snapshot()
+            for method, canon in warm:
+                self._prewarm(snapshot, method, canon)
+        return result
+
+    def _prewarm(self, snapshot: Snapshot, method: str,
+                 canon: tuple) -> None:
+        """Rebuild one previously-warm engine over the new base."""
+        try:
+            params = dict(canon)
+            self._engine_entry(snapshot.base, method, params,
+                               self.fingerprint, RequestMetrics())
+        except Exception as exc:  # noqa: BLE001 - prewarm is best-effort
+            self._prewarm_failures += 1
+            self.telemetry.metrics.counter(
+                "repro_prewarm_failures_total",
+                "post-compaction engine rebuilds that failed").inc(
+                engine=method)
+            self.telemetry.events.emit(
+                "compaction_prewarm_failed", engine=method,
+                error=f"{type(exc).__name__}: {exc}")
+
+    @staticmethod
+    def _key_base(key: tuple):
+        """The base fingerprint a cache key is rooted at (shard keys
+        nest it as the first element of a tuple)."""
+        db_key = key[0]
+        return db_key[0] if isinstance(db_key, tuple) else db_key
+
+    def _invalidate_stale_bases(self) -> int:
+        """Drop cached engines whose base was compacted away."""
+        current = self.fingerprint
+        return self.cache.invalidate_where(
+            lambda e: self._key_base(e.key) != current)
+
+    def _gauge_ingest(self) -> None:
+        reg = self.telemetry.metrics
+        v = self.versioned
+        reg.gauge("repro_snapshot_epoch",
+                  "current database epoch").set(v.epoch)
+        reg.gauge("repro_delta_segments",
+                  "segments pending in the delta").set(v.delta_rows)
+        reg.gauge("repro_delta_ratio",
+                  "delta rows over base rows").set(
+            v.delta_rows / len(v.base) if len(v.base) else 0.0)
+        reg.gauge("repro_tombstoned_trajectories",
+                  "live tombstones").set(v.num_tombstones)
 
     def stats(self) -> dict:
         """Service-level counters for dashboards and tests.
@@ -384,27 +578,32 @@ class QueryService:
                             for lane in self.pool.lanes},
             "breakers": {m_: b.to_dict()
                          for m_, b in sorted(self._breakers.items())},
+            "ingest": {**self.versioned.stats(),
+                       "prewarm_failures": self._prewarm_failures},
         }
 
     # -- request execution ----------------------------------------------------------
 
-    def _serve(self, request: SearchRequest, arrival: float
-               ) -> SearchResponse:
+    def _serve(self, request: SearchRequest, arrival: float,
+               snapshot: Snapshot) -> SearchResponse:
         self._num_requests += 1
         metrics = RequestMetrics()
         metrics.arrival_s = arrival
+        metrics.snapshot_epoch = snapshot.epoch
+        metrics.delta_segments = len(snapshot.live_delta())
         deadline = (Deadline.after(request.deadline_s)
                     if request.deadline_s is not None else None)
         with self.telemetry.span(
                 "service.request", request_id=request.request_id,
-                method=request.method) as span:
+                method=request.method, epoch=snapshot.epoch) as span:
             for lane_idx in self.pool.refresh_health(arrival):
                 self._note_lane_probation(lane_idx)
             response = self._shed_check(request, arrival, metrics)
             if response is None:
                 with deadline_scope(deadline):
                     response = self._serve_ladder(request, arrival,
-                                                  metrics, deadline)
+                                                  metrics, deadline,
+                                                  snapshot)
             span.set_attributes(engine=metrics.engine,
                                 cache_hit=metrics.cache_hit,
                                 degraded=metrics.degraded,
@@ -416,9 +615,11 @@ class QueryService:
 
     def _serve_ladder(self, request: SearchRequest, arrival: float,
                       metrics: RequestMetrics,
-                      deadline: Deadline | None) -> SearchResponse:
+                      deadline: Deadline | None,
+                      snapshot: Snapshot) -> SearchResponse:
         """Walk the failover ladder until a rung serves the request."""
-        method, params = self._resolve_method(request, metrics)
+        method, params = self._resolve_method(request, metrics,
+                                              snapshot)
         ladder = self._failover_ladder(method)
         first_failure: str | None = None
         last_exc: Exception | None = None
@@ -439,7 +640,8 @@ class QueryService:
             try:
                 response = self._attempt(request, rung,
                                          params if hop == 0 else {},
-                                         hop, arrival, metrics)
+                                         hop, arrival, metrics,
+                                         snapshot)
             except ConfigError:
                 raise  # caller error: bad parameters, not degradation
             except DeadlineExceededError as exc:
@@ -473,7 +675,7 @@ class QueryService:
                 self._record_degradation(request, method,
                                          first_failure, metrics,
                                          fallback=rung)
-                self._maybe_crosscheck(request, response)
+                self._maybe_crosscheck(request, response, snapshot)
             return response
         if last_exc is not None:
             raise last_exc  # every rung failed; surface the last error
@@ -484,18 +686,21 @@ class QueryService:
 
     def _attempt(self, request: SearchRequest, method: str,
                  params: dict, hop: int, arrival: float,
-                 metrics: RequestMetrics) -> SearchResponse:
+                 metrics: RequestMetrics,
+                 snapshot: Snapshot) -> SearchResponse:
         """Build (or fetch) the engines for one rung and execute."""
         if hop == 0:
-            runs = self._engines_for(request, method, params, metrics)
+            runs = self._engines_for(request, method, params, metrics,
+                                     snapshot)
             return self._execute(request, method, runs, arrival,
-                                 metrics)
+                                 metrics, snapshot)
         with self.telemetry.span("service.failover",
                                  request_id=request.request_id,
                                  engine=method, hop=hop):
-            runs = self._engines_for(request, method, params, metrics)
+            runs = self._engines_for(request, method, params, metrics,
+                                     snapshot)
             return self._execute(request, method, runs, arrival,
-                                 metrics)
+                                 metrics, snapshot)
 
     def _failover_ladder(self, method: str) -> list[str]:
         """The rung sequence for a request that asked for ``method``.
@@ -588,7 +793,8 @@ class QueryService:
             self.telemetry.events.emit("slow_query", **slow.to_dict())
 
     def _resolve_method(self, request: SearchRequest,
-                        metrics: RequestMetrics) -> tuple[str, dict]:
+                        metrics: RequestMetrics,
+                        snapshot: Snapshot) -> tuple[str, dict]:
         """Turn ``request.method`` into a concrete engine + parameters."""
         if request.method != "auto":
             if request.method not in ENGINE_REGISTRY:
@@ -601,7 +807,10 @@ class QueryService:
         try:
             with self.telemetry.span("service.plan",
                                      sample=self.planner_sample) as sp:
-                plans = plan_search(self.database, request.queries,
+                # Plan over the snapshot's base: that is what the index
+                # serves; the delta overlay costs the same regardless
+                # of which engine wins.
+                plans = plan_search(snapshot.base, request.queries,
                                     request.d,
                                     sample=self.planner_sample,
                                     gpu_model=self.gpu_model,
@@ -623,17 +832,23 @@ class QueryService:
         return best.engine, params
 
     def _engines_for(self, request: SearchRequest, method: str,
-                     params: dict, metrics: RequestMetrics
-                     ) -> list[CacheEntry]:
-        """Cached engines serving this request — one per shard."""
+                     params: dict, metrics: RequestMetrics,
+                     snapshot: Snapshot) -> list[CacheEntry]:
+        """Cached engines serving this request — one per shard.
+
+        Keys are rooted at the snapshot's *base* fingerprint, which
+        ingestion does not change: a warm engine keeps hitting across
+        appends/deletes, and only a compaction (new base) misses.
+        """
+        base_fp = self._base_fingerprint(snapshot)
         if request.shards == 1:
-            shard_dbs = [(self.database, self.fingerprint)]
+            shard_dbs = [(snapshot.base, base_fp)]
         else:
             shard_dbs = [
-                (shard, (self.fingerprint, request.partition_strategy,
+                (shard, (base_fp, request.partition_strategy,
                          request.shards, i))
                 for i, shard in enumerate(
-                    self._shards(request.partition_strategy,
+                    self._shards(snapshot, request.partition_strategy,
                                  request.shards))
             ]
         entries = []
@@ -646,11 +861,19 @@ class QueryService:
         metrics.cache_hit = all_hit
         return entries
 
-    def _shards(self, strategy: str, n: int) -> list[SegmentArray]:
-        key = (strategy, n)
+    def _base_fingerprint(self, snapshot: Snapshot) -> str:
+        """Fingerprint of a snapshot's base (fast path: the current
+        one is cached on the service)."""
+        if snapshot.base_version == self.versioned.base_version:
+            return self.fingerprint
+        return database_fingerprint(snapshot.base)
+
+    def _shards(self, snapshot: Snapshot, strategy: str, n: int
+                ) -> list[SegmentArray]:
+        key = (snapshot.base_version, strategy, n)
         if key not in self._shard_cache:
             self._shard_cache[key] = partition_database(
-                self.database, n, strategy)
+                snapshot.base, n, strategy)
         return self._shard_cache[key]
 
     def _engine_entry(self, database: SegmentArray, method: str,
@@ -715,7 +938,8 @@ class QueryService:
 
     def _execute(self, request: SearchRequest, method: str,
                  entries: list[CacheEntry], arrival: float,
-                 metrics: RequestMetrics) -> SearchResponse:
+                 metrics: RequestMetrics,
+                 snapshot: Snapshot) -> SearchResponse:
         runs: list[_ShardRun] = []
         with self.telemetry.span("service.execute",
                                  shards=len(entries)) as exec_span:
@@ -762,6 +986,34 @@ class QueryService:
                     start, run.modeled.total)
 
         outcome = self._merge_outcome(method, runs)
+        if not snapshot.clean:
+            # Delta overlay: filter tombstones out of the base results
+            # and union in a brute-force scan of the live delta.  The
+            # scan is host work — it queues on the host lane and its
+            # modeled cost lands in the response (that's the latency
+            # gap compaction exists to bound).
+            with self.telemetry.span(
+                    "service.delta_scan",
+                    delta_rows=len(snapshot.live_delta()),
+                    tombstones=len(snapshot.tombstones)) as dsp:
+                outcome, delta_profile = overlay_search(
+                    outcome, snapshot, request.queries, request.d,
+                    exclude_same_trajectory=request
+                    .exclude_same_trajectory,
+                    cpu_model=self.cpu_model)
+                if delta_profile is not None:
+                    delta_cost = delta_profile.modeled_time(
+                        self.cpu_model)
+                    host = self.pool.host
+                    start = max(arrival, host.busy_until)
+                    host.busy_until = start + delta_cost.total
+                    metrics.delta_scan_s = delta_cost.total
+                    metrics.lane_spans.append({
+                        "lane": DevicePool.HOST_LANE,
+                        "start_s": start,
+                        "dur_s": delta_cost.total, "shard": "delta",
+                    })
+                    dsp.set_modeled(start, delta_cost.total)
         metrics.engine = method
         metrics.queue_wait_s = latest_start - arrival
         metrics.invocations = sum(
@@ -907,11 +1159,14 @@ class QueryService:
         self.telemetry.events.emit("lane_probation", lane=lane_idx)
 
     def _maybe_crosscheck(self, request: SearchRequest,
-                          response: SearchResponse) -> None:
+                          response: SearchResponse,
+                          snapshot: Snapshot) -> None:
         """Deterministically sampled verification of failover results
-        against ``cpu_scan`` ground truth.  The check runs off the
-        serving clock (verification overhead is not charged to lanes);
-        a degraded answer must be slower, never wrong."""
+        against ``cpu_scan`` ground truth over the pinned snapshot's
+        *logical* database (base minus tombstones plus delta).  The
+        check runs off the serving clock (verification overhead is not
+        charged to lanes); a degraded answer must be slower, never
+        wrong."""
         if self.crosscheck_every <= 0:
             return
         if (self._failover_serves - 1) % self.crosscheck_every:
@@ -921,7 +1176,7 @@ class QueryService:
         with self.telemetry.span(
                 "service.crosscheck", request_id=request.request_id,
                 engine=response.metrics.engine):
-            truth, _ = self._truth().search(
+            truth, _ = self._truth(snapshot).search(
                 request.queries, request.d,
                 exclude_same_trajectory=request.exclude_same_trajectory)
             match = response.outcome.results.equivalent_to(truth)
@@ -936,10 +1191,15 @@ class QueryService:
         if not match:
             self.crosscheck_mismatches.append(request.request_id)
 
-    def _truth(self) -> CpuScanEngine:
-        if self._truth_engine is None:
-            self._truth_engine = CpuScanEngine(self.database)
-        return self._truth_engine
+    def _truth(self, snapshot: Snapshot) -> CpuScanEngine:
+        """Ground-truth scan engine over the snapshot's logical view,
+        cached per epoch (every mutation bumps the epoch)."""
+        cached = self._truth_cache
+        if cached is not None and cached[0] == snapshot.epoch:
+            return cached[1]
+        engine = CpuScanEngine(snapshot.logical())
+        self._truth_cache = (snapshot.epoch, engine)
+        return engine
 
     # -- bookkeeping -------------------------------------------------------------
 

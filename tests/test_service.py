@@ -150,6 +150,40 @@ class TestCaching:
         assert canonical_params({"a": 1, "b": [2, 3]}) \
             == canonical_params({"b": (2, 3), "a": 1})
 
+    def test_canonical_params_numpy_scalars_collapse(self):
+        """np.int64(40) and 40 must produce the same key, or a config
+        that round-trips through NumPy silently rebuilds the engine."""
+        assert canonical_params({"num_bins": np.int64(40),
+                                 "d": np.float64(2.5)}) \
+            == canonical_params({"num_bins": 40, "d": 2.5})
+        key = canonical_params({"num_bins": np.int64(40)})
+        assert all(type(v) is not np.int64 for _, v in key)
+
+    def test_canonical_params_nested_dicts_canonicalize(self):
+        """Nested dicts flatten to sorted item tuples — logically equal
+        nests hash and compare equal regardless of insertion order."""
+        a = canonical_params(
+            {"opts": {"x": 1, "y": np.int32(2)}, "m": "t"})
+        b = canonical_params(
+            {"m": "t", "opts": {"y": 2, "x": np.int64(1)}})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert canonical_params({"opts": {"x": 1}}) \
+            != canonical_params({"opts": {"x": 2}})
+
+    def test_canonical_params_same_cache_entry(self, small_db,
+                                               small_queries):
+        """The end-to-end consequence: requests whose params differ
+        only in NumPy-ness hit one cache entry."""
+        svc = QueryService(small_db)
+        r1 = svc.submit(_request(small_queries, method="gpu_temporal",
+                                 params={"num_bins": 16}))
+        r2 = svc.submit(_request(small_queries, method="gpu_temporal",
+                                 params={"num_bins": np.int64(16)}))
+        assert not r1.metrics.cache_hit
+        assert r2.metrics.cache_hit
+        assert len(svc.cache) == 1
+
 
 class TestAutoSelection:
     def test_auto_picks_planner_winner(self, service, db_queries_truth):

@@ -142,3 +142,96 @@ def test_completeness_property(num_bins, seed):
         overlapping = np.flatnonzero((seg.ts <= qe[k]) & (seg.te >= qs[k]))
         if overlapping.size:
             assert lo[k] <= overlapping.min() <= overlapping.max() <= hi[k]
+
+
+class TestRegressions:
+    """Edge shapes that broke (or nearly broke) earlier index builds,
+    pinned here so the ingestion/compaction path can't reintroduce
+    them."""
+
+    def test_single_bin_index(self):
+        """m = 1: one bin holds everything; every overlapping query
+        must see the full row range and none beyond."""
+        db = SegmentArray.from_trajectories(
+            make_walk_trajectories(8, 10, seed=3, start_spread=6.0))
+        idx = TemporalIndex.build(db, 1)
+        assert idx.bin_first[0] == 0
+        assert idx.bin_last[0] == len(db) - 1
+        lo, hi = idx.candidate_rows(np.array([idx.t_min]),
+                                    np.array([idx.t_min + 1.0]))
+        assert lo[0] == 0 and hi[0] == len(db) - 1
+        # Outside the extent: still empty even with a single bin.
+        t_max = idx.segments.te.max()
+        lo, hi = idx.candidate_rows(np.array([t_max + 10.0]),
+                                    np.array([t_max + 11.0]))
+        assert lo[0] > hi[0]
+
+    def test_every_segment_in_last_bin(self):
+        """All t_start values cluster at the very end of the temporal
+        extent except one long-lived spiller: B_end of the last bin
+        must absorb the spill and queries at the far end must still
+        find the early segment via the prefix-max schedule."""
+        n = 12
+        # Extent is [0, 50] (te.max() counts): the cluster at
+        # t_start = 49.9 falls in the last of 8 bins; row 0 starts at
+        # t_min but lives until t = 50.
+        ts = np.full(n, 49.9)
+        ts[0] = 0.0          # defines t_min; lands in bin 0
+        te = np.full(n, 50.0)
+        z = np.zeros(n)
+        db = SegmentArray(z, z, z, ts, z + 1.0, z, z, te,
+                          np.arange(n, dtype=np.int64))
+        idx = TemporalIndex.build(db, 8)
+        # Rows 1.. all land in the last bin.
+        assert idx.bin_first[-1] == 1
+        assert idx.bin_last[-1] == n - 1
+        # The spiller stretches its bin's extent.
+        assert idx.bin_end[0] >= 50.0
+        # A query far past the nominal extent still reaches row 0.
+        lo, hi = idx.candidate_rows(np.array([40.0]),
+                                    np.array([45.0]))
+        assert lo[0] == 0 and hi[0] >= 0
+
+    def test_same_instant_burst_single_bin(self):
+        """Zero-width temporal extent (every t_start equal): the build
+        must not divide by zero, and all rows share one bin."""
+        n = 6
+        t = np.full(n, 5.0)
+        z = np.zeros(n)
+        db = SegmentArray(z + 1, z, z, t, z + 2, z, z, t,
+                          np.arange(n, dtype=np.int64))
+        idx = TemporalIndex.build(db, 10)
+        occupied = np.flatnonzero(idx.bin_last >= 0)
+        assert len(occupied) == 1
+        lo, hi = idx.candidate_rows(np.array([5.0]), np.array([5.0]))
+        assert lo[0] == 0 and hi[0] == n - 1
+
+    def test_bin_ranges_contiguous_after_compaction(self):
+        """An index built over a compacted database (live base rows
+        followed by merged delta rows, seg_ids non-contiguous) still
+        yields contiguous, disjoint, covering bin row ranges."""
+        from repro.ingest import VersionedDatabase
+        base = SegmentArray.from_trajectories(
+            make_walk_trajectories(10, 8, seed=11, start_spread=5.0))
+        vdb = VersionedDatabase(base)
+        # Distinct trajectory ids for the arrivals.
+        from repro.core.types import Trajectory
+        extra = SegmentArray.from_trajectories([
+            Trajectory(t.traj_id + 50, t.times, t.positions)
+            for t in make_walk_trajectories(4, 8, seed=12,
+                                            start_spread=5.0)])
+        vdb.append(extra)
+        vdb.delete_trajectory(2)
+        vdb.compact()
+        db = vdb.base
+        idx = TemporalIndex.build(db, 12)
+        covered = 0
+        prev_last = -1
+        for j in range(idx.num_bins):
+            first, last = idx.bin_first[j], idx.bin_last[j]
+            if last < 0:        # empty bin
+                continue
+            assert first == prev_last + 1   # contiguous, disjoint
+            prev_last = last
+            covered += last - first + 1
+        assert covered == len(db)           # covering

@@ -176,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", default=None, metavar="PATH",
                    help="write the structured telemetry event log as "
                         "JSON lines")
+    p.add_argument("--crash-every", type=int, default=0, metavar="N",
+                   help="crash-recovery mode: run the durability "
+                        "kill-point campaign instead, simulating a "
+                        "process crash on the Nth mutation at each "
+                        "WAL kill point (0 = ordinary fault-injection "
+                        "campaign)")
 
     p = sub.add_parser(
         "ingest", help="replay a dataset as a live ingestion stream "
@@ -215,6 +221,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the final stats as JSON instead of the "
                         "rendered summary")
+    p.add_argument("--durable-dir", default=None, metavar="DIR",
+                   help="make the run durable: WAL every mutation "
+                        "into DIR and checkpoint periodically, so a "
+                        "crash is recoverable with 'repro recover'")
+
+    p = sub.add_parser(
+        "checkpoint", help="force a durable checkpoint of a "
+                           "durability directory")
+    p.add_argument("dir", help="durability directory (as passed to "
+                               "'ingest --durable-dir')")
+    p.add_argument("--database", default=None, metavar="NPZ",
+                   help="bootstrap: attach this dataset as a new "
+                        "durable database (the directory must be "
+                        "empty of durable state)")
+    p.add_argument("--json", action="store_true",
+                   help="emit stats as JSON instead of a summary")
+
+    p = sub.add_parser(
+        "recover", help="rebuild a service from a durability "
+                        "directory and report the recovery")
+    p.add_argument("dir", help="durability directory to recover")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="write a fresh checkpoint after recovery "
+                        "(folds the replayed WAL tail in)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the recovery summary as JSON")
     return parser
 
 
@@ -608,6 +640,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import CampaignConfig, run_campaign
     from .obs import Telemetry
 
+    if args.crash_every:
+        from .faults import CrashCampaignConfig, run_crash_campaign
+        cfg = CrashCampaignConfig(
+            seed=args.seed,
+            num_ops=max(12, 2 * args.crash_every),
+            crash_on_op=args.crash_every)
+        report = run_crash_campaign(cfg)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+
     telemetry = Telemetry() if args.events else None
     cfg = CampaignConfig(seed=args.seed, num_requests=args.requests,
                          injection_rate=args.rate,
@@ -658,7 +703,8 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     policy = (CompactionPolicy(max_delta_segments=args.max_delta)
               if args.max_delta is not None else None)
     svc = QueryService(base, num_devices=args.num_devices,
-                       faults=faults, compaction=policy)
+                       faults=faults, compaction=policy,
+                       durability_dir=args.durable_dir)
 
     print(f"base: {len(base)} segments / {len(base_ids)} trajectories; "
           f"stream: {len(stream_ids)} trajectories over "
@@ -697,6 +743,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
             line += f"  rejected: {resp.status}"
         print(line)
     stats = svc.stats()
+    svc.shutdown()
     if args.json:
         print(json.dumps(stats, indent=2))
         return 0
@@ -708,6 +755,89 @@ def cmd_ingest(args: argparse.Namespace) -> int:
           f"(base v{ing['base_version']}, epoch {ing['epoch']}); "
           f"cache {cache['hits']} hits / {cache['misses']} misses / "
           f"{cache['invalidations']} invalidations")
+    if args.durable_dir:
+        dur = stats["durability"]
+        print(f"durable state in {dur['directory']}: "
+              f"{dur['wal_appends']} WAL records "
+              f"({dur['wal_bytes']} bytes), "
+              f"{dur['checkpoints_written']} checkpoints "
+              f"(last at epoch {dur['last_checkpoint_epoch']})")
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    import json
+
+    from .durability import DurabilityManager
+    from .service import QueryService
+
+    manager = DurabilityManager(args.dir)
+    if not manager.has_state:
+        if args.database is None:
+            print(f"repro checkpoint: error: {args.dir} holds no "
+                  f"durable state; pass --database to bootstrap one",
+                  file=sys.stderr)
+            return 2
+        database = load_segments(args.database)
+        svc = QueryService(database, durability_dir=args.dir)
+        action = "bootstrapped"
+    else:
+        if args.database is not None:
+            print(f"repro checkpoint: error: {args.dir} already holds "
+                  f"a durable database; --database would overwrite it",
+                  file=sys.stderr)
+            return 2
+        svc = QueryService.recover(args.dir)
+        svc.checkpoint()
+        action = "checkpointed"
+    stats = svc.stats()
+    svc.shutdown()
+    if args.json:
+        print(json.dumps(stats["durability"], indent=2))
+        return 0
+    dur = stats["durability"]
+    print(f"{action} {dur['directory']} at epoch "
+          f"{stats['ingest']['epoch']}: "
+          f"{dur['checkpoints_written']} checkpoints this session, "
+          f"last at epoch {dur['last_checkpoint_epoch']}")
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from .durability import DurabilityError
+    from .service import QueryService
+
+    try:
+        svc = QueryService.recover(args.dir)
+    except DurabilityError as exc:
+        print(f"repro recover: error: {exc}", file=sys.stderr)
+        return 2
+    result = svc.last_recovery
+    if args.checkpoint:
+        svc.checkpoint()
+    summary = {
+        **result.to_dict(),
+        "ingest": svc.stats()["ingest"],
+    }
+    svc.shutdown()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"recovered {args.dir}: checkpoint epoch "
+          f"{result.checkpoint_epoch} + {result.replayed} WAL "
+          f"records replayed -> epoch {result.epoch}"
+          + (f" ({result.torn_dropped} torn record dropped)"
+             if result.torn_dropped else ""))
+    if result.invalid_checkpoints or result.tmp_dirs_removed:
+        print(f"  swept {result.tmp_dirs_removed} crashed-checkpoint "
+              f"tmp dirs, skipped {result.invalid_checkpoints} "
+              f"corrupt checkpoints")
+    print(f"  prewarm recipes: "
+          + (", ".join(r.method for r in result.engines) or "none"))
+    if args.checkpoint:
+        print("  fresh checkpoint written (WAL tail folded in)")
     return 0
 
 
@@ -728,6 +858,8 @@ def main(argv: list[str] | None = None) -> int:
         "calibrate": cmd_calibrate,
         "chaos": cmd_chaos,
         "ingest": cmd_ingest,
+        "checkpoint": cmd_checkpoint,
+        "recover": cmd_recover,
     }[args.command]
     return handler(args)
 

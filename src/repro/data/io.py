@@ -7,6 +7,8 @@ distance re-load instead of re-simulating.
 
 from __future__ import annotations
 
+import io
+import os
 from pathlib import Path
 
 import numpy as np
@@ -19,11 +21,28 @@ _FIELDS = ("xs", "ys", "zs", "ts", "xe", "ye", "ze", "te",
            "traj_ids", "seg_ids")
 
 
-def save_segments(path: str | Path, segments: SegmentArray) -> None:
-    """Write a segment database to ``path`` (npz, compressed)."""
+def save_segments(path: str | Path, segments: SegmentArray) -> Path:
+    """Write a segment database to ``path`` (npz, compressed).
+
+    The write is atomic (tmp file + ``os.replace``): a reader — or a
+    restart after a crash mid-save — sees either the previous complete
+    file or the new complete file, never a truncated archive.  Returns
+    the final path (numpy's ``.npz`` suffix appended if absent).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **{f: getattr(segments, f) for f in _FIELDS})
+    final = (path if path.name.endswith(".npz")
+             else path.with_name(path.name + ".npz"))
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **{f: getattr(segments, f)
+                                for f in _FIELDS})
+    tmp = final.with_name(f".tmp-{os.getpid()}-{final.name}")
+    with open(tmp, "wb") as fh:
+        fh.write(buf.getvalue())
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    return final
 
 
 def load_segments(path: str | Path) -> SegmentArray:

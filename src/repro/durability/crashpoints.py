@@ -1,0 +1,91 @@
+"""Seeded kill-points: simulated crashes inside the durability path.
+
+A real crash test would ``kill -9`` the process; the campaign gets the
+same on-disk effect deterministically by raising
+:class:`SimulatedCrash` at named points in the apply path and then
+*abandoning* the service instance — whatever bytes had reached the
+filesystem at that instant are exactly what recovery sees.
+
+Kill-point classes
+------------------
+``wal_mid_append``
+    The process died halfway through writing a WAL record: a torn
+    (CRC-invalid) partial line is physically left on disk.  The
+    mutation was never durable — recovery must drop it.
+``wal_post_append``
+    The record is fully written and synced but the in-memory apply
+    never ran.  The mutation *is* durable — recovery must replay it.
+``checkpoint_mid``
+    Died inside a periodic checkpoint: data files written into the tmp
+    directory, the atomic rename never happened.  Recovery must ignore
+    the tmp debris and use the previous checkpoint plus the WAL.
+``compact_mid``
+    Died inside the post-compaction checkpoint: the compact record is
+    durable in the WAL, the compacted checkpoint is not.  Recovery
+    replays the compaction from the previous checkpoint.
+
+A :class:`KillSwitch` is armed with one ``(point, occurrence)`` pair;
+the Nth time that point is reached, it fires.  Durability code consults
+it via :meth:`KillSwitch.check`; the WAL additionally uses
+:meth:`matches` + :meth:`fire` so it can leave the torn bytes *before*
+raising.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KILL_POINTS", "KillSwitch", "SimulatedCrash"]
+
+KILL_POINTS = ("wal_mid_append", "wal_post_append", "checkpoint_mid",
+               "compact_mid")
+
+
+class SimulatedCrash(BaseException):
+    """The process 'died' at a kill-point.
+
+    Deliberately *not* an :class:`Exception`: nothing in the serving
+    stack may catch and absorb a crash (breakers, failover ladders and
+    prewarm guards all catch ``Exception``) — it must unwind to the
+    campaign harness like a real ``SIGKILL`` unwinds to the OS.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at kill-point {point!r}")
+        self.point = point
+
+
+class KillSwitch:
+    """Fires a :class:`SimulatedCrash` at the Nth visit of one point."""
+
+    def __init__(self, point: str, *, occurrence: int = 1) -> None:
+        if point not in KILL_POINTS:
+            raise ValueError(f"unknown kill-point {point!r}; expected "
+                             f"one of {KILL_POINTS}")
+        if occurrence < 1:
+            raise ValueError("occurrence must be >= 1")
+        self.point = point
+        self.occurrence = occurrence
+        #: visits per point (all points counted, for reporting).
+        self.visits: dict[str, int] = {}
+        self.fired = False
+
+    def matches(self, point: str) -> bool:
+        """Count one visit; True when this visit is the armed one.
+
+        The caller is then expected to do its torn-state damage and
+        call :meth:`fire`.
+        """
+        if point not in KILL_POINTS:
+            raise ValueError(f"unknown kill-point {point!r}")
+        self.visits[point] = self.visits.get(point, 0) + 1
+        return (not self.fired and point == self.point
+                and self.visits[point] == self.occurrence)
+
+    def fire(self, point: str) -> None:
+        """Raise the crash (records that it happened)."""
+        self.fired = True
+        raise SimulatedCrash(point)
+
+    def check(self, point: str) -> None:
+        """Count a visit and crash if this is the armed one."""
+        if self.matches(point):
+            self.fire(point)

@@ -1,0 +1,380 @@
+"""The durability manager: WAL + checkpoints + recovery for one service.
+
+:class:`DurabilityManager` owns one on-disk directory:
+
+.. code-block:: text
+
+    <dir>/
+        wal.jsonl           # CRC-framed mutation log (the tail)
+        checkpoints/        # atomic snapshots (see checkpoint.py)
+        events.jsonl        # telemetry event log, flushed at shutdown
+        slow_queries.jsonl  # slow-query log, flushed at shutdown
+
+The write path follows classic WAL discipline: every mutation is framed,
+written, and synced *before* it is applied to the in-memory
+:class:`~repro.ingest.VersionedDatabase`; periodic checkpoints bound
+replay time; the WAL is truncated through each checkpoint's epoch.
+
+:meth:`DurabilityManager.recover` inverts it: load the newest valid
+checkpoint (skipping crash debris and corrupt directories), replay the
+WAL tail (dropping a CRC-torn final record), and hand back a database
+at the exact pre-crash logical epoch plus the warm-engine recipes the
+service uses to prewarm its cache.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.types import SegmentArray
+from ..ingest import VersionedDatabase
+from ..obs import current as current_telemetry
+from .checkpoint import (CheckpointError, EngineRecipe, clean_tmp_dirs,
+                         list_checkpoints, load_checkpoint,
+                         write_checkpoint)
+from .wal import SYNC_MODES, WalCorruptionError, WriteAheadLog
+
+__all__ = ["DurabilityError", "DurabilityManager", "DurabilityPolicy",
+           "RecoveryResult"]
+
+
+class DurabilityError(RuntimeError):
+    """The durability directory cannot be attached or recovered."""
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """Knobs of the durability layer.
+
+    Parameters
+    ----------
+    sync:
+        WAL sync mode (see :mod:`repro.durability.wal`).
+    checkpoint_every:
+        Mutations between periodic checkpoints (0 = only at
+        compactions and explicit :meth:`DurabilityManager.checkpoint`
+        calls).
+    checkpoint_on_compact:
+        Checkpoint right after every compaction — replaying a
+        compaction from the WAL is the most expensive replay step, so
+        fold it into a snapshot immediately.
+    truncate_wal:
+        Drop WAL records covered by each new checkpoint (atomic
+        rewrite); False keeps the full history.
+    keep_checkpoints:
+        Committed checkpoints retained; older ones are pruned after
+        each successful checkpoint.
+    persist_engines:
+        Pickle warm engines into checkpoints as prewarm artifacts
+        (best-effort; recipes are always persisted).
+    """
+
+    sync: str = "fsync"
+    checkpoint_every: int = 16
+    checkpoint_on_compact: bool = True
+    truncate_wal: bool = True
+    keep_checkpoints: int = 2
+    persist_engines: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sync not in SYNC_MODES:
+            raise ValueError(f"unknown sync mode {self.sync!r}; "
+                             f"expected one of {SYNC_MODES}")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be >= 1")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"sync": self.sync,
+                "checkpoint_every": self.checkpoint_every,
+                "checkpoint_on_compact": self.checkpoint_on_compact,
+                "truncate_wal": self.truncate_wal,
+                "keep_checkpoints": self.keep_checkpoints,
+                "persist_engines": self.persist_engines}
+
+
+@dataclass
+class RecoveryResult:
+    """What one :meth:`DurabilityManager.recover` reconstructed."""
+
+    database: VersionedDatabase
+    #: epoch of the checkpoint recovery started from.
+    checkpoint_epoch: int
+    #: logical epoch after WAL replay — the pre-crash epoch.
+    epoch: int
+    #: WAL records applied on top of the checkpoint.
+    replayed: int
+    #: WAL records skipped as already covered by the checkpoint.
+    skipped: int
+    #: CRC-torn final records dropped (0 or 1).
+    torn_dropped: int
+    #: corrupt/incomplete checkpoint directories skipped over.
+    invalid_checkpoints: int
+    #: crashed-checkpoint tmp directories swept.
+    tmp_dirs_removed: int
+    #: warm-engine recipes persisted with the checkpoint.
+    engines: list[EngineRecipe] = field(default_factory=list)
+    #: the loaded checkpoint (artifact access for prewarm).
+    checkpoint: object | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (the database itself is omitted)."""
+        return {"checkpoint_epoch": self.checkpoint_epoch,
+                "epoch": self.epoch, "replayed": self.replayed,
+                "skipped": self.skipped,
+                "torn_dropped": self.torn_dropped,
+                "invalid_checkpoints": self.invalid_checkpoints,
+                "tmp_dirs_removed": self.tmp_dirs_removed,
+                "engines": [r.to_dict() for r in self.engines]}
+
+
+class DurabilityManager:
+    """WAL + checkpoint lifecycle for one durability directory.
+
+    Parameters
+    ----------
+    directory:
+        Root of the durable state (created if missing).
+    policy:
+        :class:`DurabilityPolicy` (default policy when None).
+    kill:
+        Optional :class:`~repro.durability.crashpoints.KillSwitch`
+        threaded into the WAL and checkpoint writer (crash campaign).
+    """
+
+    WAL_NAME = "wal.jsonl"
+    CHECKPOINTS_NAME = "checkpoints"
+
+    def __init__(self, directory: str | Path, *,
+                 policy: DurabilityPolicy | None = None,
+                 kill=None) -> None:
+        self.directory = Path(directory)
+        self.policy = policy or DurabilityPolicy()
+        self.kill = kill
+        self.wal = WriteAheadLog(self.directory / self.WAL_NAME,
+                                 sync=self.policy.sync, kill=kill)
+        self.checkpoints_dir = self.directory / self.CHECKPOINTS_NAME
+        self._ops_since_checkpoint = 0
+        #: lifetime counters (exposed through service stats).
+        self.checkpoints_written = 0
+        self.wal_truncated_records = 0
+        self.last_checkpoint_epoch: int | None = None
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def has_state(self) -> bool:
+        """Does the directory already hold a durable database?"""
+        return bool(list_checkpoints(self.checkpoints_dir)) \
+            or (self.directory / self.WAL_NAME).exists()
+
+    def stats(self) -> dict:
+        """JSON-friendly counters for service stats and the CLI."""
+        return {
+            "directory": str(self.directory),
+            "policy": self.policy.to_dict(),
+            "wal_appends": self.wal.appends,
+            "wal_bytes": self.wal.bytes_written,
+            "wal_truncated_records": self.wal_truncated_records,
+            "checkpoints_written": self.checkpoints_written,
+            "last_checkpoint_epoch": self.last_checkpoint_epoch,
+            "ops_since_checkpoint": self._ops_since_checkpoint,
+        }
+
+    # -- write path --------------------------------------------------------------
+
+    def attach(self, database: VersionedDatabase,
+               warm_engines=()) -> Path:
+        """Bootstrap a fresh directory around an existing database.
+
+        Writes the initial checkpoint (epoch 0 for a new database) so
+        recovery always has a floor to replay from.  Refuses a
+        directory that already holds durable state — that state must
+        be :meth:`recover`\\ ed, not silently overwritten.
+        """
+        if self.has_state:
+            raise DurabilityError(
+                f"{self.directory} already holds a durable database; "
+                f"recover it (QueryService.recover) instead of "
+                f"attaching a new one")
+        return self.checkpoint(database, warm_engines=warm_engines)
+
+    def log_append(self, database: VersionedDatabase,
+                   segments: SegmentArray) -> None:
+        """WAL one append *before* it is applied.  The payload is the
+        caller's (pre-stamping) segments: replay re-runs
+        :meth:`~repro.ingest.VersionedDatabase.append`, which assigns
+        the identical seg_ids because ``next_seg_id`` is restored."""
+        self._log("append", database.epoch + 1,
+                  {"segments": segments.to_dict()})
+
+    def log_delete(self, database: VersionedDatabase,
+                   traj_id: int) -> None:
+        """WAL one tombstone before it is applied."""
+        self._log("delete", database.epoch + 1,
+                  {"traj_id": int(traj_id)})
+
+    def log_compact(self, database: VersionedDatabase) -> None:
+        """WAL one compaction before it is applied (replay re-runs the
+        deterministic fold)."""
+        self._log("compact", database.epoch + 1, {})
+
+    def _log(self, op: str, epoch: int, payload: dict) -> None:
+        before = self.wal.bytes_written
+        self.wal.append(op, epoch, payload)
+        self._ops_since_checkpoint += 1
+        reg = current_telemetry().metrics
+        reg.counter("repro_wal_appends_total",
+                    "mutations framed into the WAL").inc(op=op)
+        reg.counter("repro_wal_bytes_total",
+                    "framed WAL bytes written").inc(
+            self.wal.bytes_written - before)
+        if self.kill is not None:
+            # The record is durable; the in-memory apply has not run.
+            self.kill.check("wal_post_append")
+
+    def checkpoint_due(self) -> bool:
+        """Has the periodic cadence elapsed?"""
+        return (self.policy.checkpoint_every > 0
+                and self._ops_since_checkpoint
+                >= self.policy.checkpoint_every)
+
+    def checkpoint(self, database: VersionedDatabase,
+                   warm_engines=(), *,
+                   kill_point: str = "checkpoint_mid") -> Path:
+        """Write one checkpoint now, truncate the WAL through it, and
+        prune old checkpoints.
+
+        ``warm_engines`` is an iterable of ``(method, params, engine)``
+        triples describing the service's warm cache; engines are
+        pickled as prewarm artifacts when the policy allows.
+        """
+        snap = database.snapshot()
+        triples = [(method, params,
+                    engine if self.policy.persist_engines else None)
+                   for method, params, engine in warm_engines]
+        wall0 = time.perf_counter()
+        path = write_checkpoint(
+            self.checkpoints_dir,
+            {
+                "epoch": database.epoch,
+                "delta_epoch": database.delta_epoch,
+                "base_version": database.base_version,
+                "next_seg_id": database.next_seg_id,
+                "base": snap.base,
+                "delta": snap.delta,
+                "tombstones": snap.tombstones,
+                "counters": {
+                    "total_appends": database.total_appends,
+                    "total_appended_segments":
+                        database.total_appended_segments,
+                    "total_deletes": database.total_deletes,
+                    "total_compactions": database.total_compactions,
+                },
+            },
+            engines=triples, kill=self.kill, kill_point=kill_point)
+        wall_s = time.perf_counter() - wall0
+        self.checkpoints_written += 1
+        self.last_checkpoint_epoch = database.epoch
+        self._ops_since_checkpoint = 0
+        if self.policy.truncate_wal:
+            self.wal_truncated_records += self.wal.truncate_through(
+                database.epoch)
+        self._prune()
+        reg = current_telemetry().metrics
+        reg.counter("repro_checkpoints_total",
+                    "checkpoints committed").inc()
+        reg.histogram("repro_checkpoint_seconds",
+                      "checkpoint write wall seconds").observe(wall_s)
+        current_telemetry().events.emit(
+            "checkpoint", epoch=database.epoch, path=str(path),
+            wall_seconds=wall_s, engines=len(triples))
+        return path
+
+    def _prune(self) -> None:
+        for stale in list_checkpoints(
+                self.checkpoints_dir)[self.policy.keep_checkpoints:]:
+            shutil.rmtree(stale)
+
+    def close(self) -> None:
+        self.wal.close()
+
+    # -- recovery ----------------------------------------------------------------
+
+    def recover(self) -> RecoveryResult:
+        """Rebuild the database from disk (see module docstring)."""
+        swept = clean_tmp_dirs(self.checkpoints_dir)
+        candidates = list_checkpoints(self.checkpoints_dir)
+        if not candidates:
+            raise DurabilityError(
+                f"{self.directory}: no checkpoints to recover from "
+                f"(was the directory ever attached to a service?)")
+        checkpoint = None
+        invalid = 0
+        for candidate in candidates:
+            try:
+                checkpoint = load_checkpoint(candidate)
+                break
+            except CheckpointError:
+                invalid += 1
+        if checkpoint is None:
+            raise DurabilityError(
+                f"{self.directory}: all {len(candidates)} checkpoints "
+                f"are corrupt; the WAL alone cannot seed a database")
+        db = VersionedDatabase.restore(
+            base=checkpoint.base, delta=checkpoint.delta,
+            tombstones=checkpoint.tombstones,
+            epoch=checkpoint.epoch,
+            delta_epoch=checkpoint.delta_epoch,
+            base_version=checkpoint.base_version,
+            next_seg_id=checkpoint.next_seg_id,
+            counters=checkpoint.counters)
+        scan = self.wal.read()
+        if scan.torn_records:
+            # Tolerating the torn final record means removing its
+            # half-written bytes too — future appends must start at a
+            # clean frame boundary.
+            self.wal.drop_torn_tail(scan.valid_bytes)
+        replayed = skipped = 0
+        for record in scan.records:
+            if record.epoch <= checkpoint.epoch:
+                skipped += 1
+                continue
+            if record.epoch != db.epoch + 1:
+                raise WalCorruptionError(
+                    f"{self.wal.path}: record lsn={record.lsn} produces "
+                    f"epoch {record.epoch} but the database is at "
+                    f"epoch {db.epoch} — the log has a gap")
+            if record.op == "append":
+                db.append(SegmentArray.from_dict(
+                    record.payload["segments"]))
+            elif record.op == "delete":
+                db.delete_trajectory(record.payload["traj_id"])
+            else:
+                db.compact()
+            replayed += 1
+        self.wal._next_lsn = (scan.records[-1].lsn + 1
+                              if scan.records else 1)
+        result = RecoveryResult(
+            database=db, checkpoint_epoch=checkpoint.epoch,
+            epoch=db.epoch, replayed=replayed, skipped=skipped,
+            torn_dropped=scan.torn_records,
+            invalid_checkpoints=invalid, tmp_dirs_removed=swept,
+            engines=list(checkpoint.engines), checkpoint=checkpoint)
+        reg = current_telemetry().metrics
+        reg.counter("repro_recoveries_total",
+                    "recover() invocations").inc()
+        reg.counter("repro_wal_replayed_total",
+                    "WAL records replayed during recovery").inc(
+            replayed)
+        if scan.torn_records:
+            reg.counter("repro_wal_torn_records_total",
+                        "CRC-torn WAL tail records dropped").inc(
+                scan.torn_records)
+        current_telemetry().events.emit("recovery", **result.to_dict())
+        return result

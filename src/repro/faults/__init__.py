@@ -11,6 +11,8 @@ subcommand and the CI chaos job.
 """
 
 from .campaign import CampaignConfig, CampaignReport, run_campaign
+from .crashes import (CrashCampaignConfig, CrashCampaignReport,
+                      CrashRun, run_crash_campaign)
 from .injector import (FAULT_KINDS, FaultInjector, FaultSpec,
                        InjectedFault, KernelAbortError,
                        LaneBlackoutError, TransferFault)
@@ -18,6 +20,9 @@ from .injector import (FAULT_KINDS, FaultInjector, FaultSpec,
 __all__ = [
     "CampaignConfig",
     "CampaignReport",
+    "CrashCampaignConfig",
+    "CrashCampaignReport",
+    "CrashRun",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultSpec",
@@ -26,4 +31,5 @@ __all__ = [
     "LaneBlackoutError",
     "TransferFault",
     "run_campaign",
+    "run_crash_campaign",
 ]

@@ -1,0 +1,387 @@
+"""Crash campaign: kill the durable apply path and prove recovery.
+
+Where :mod:`repro.faults.campaign` injects *device* faults into a
+running service, this module injects *process death*: a seeded
+:class:`~repro.durability.KillSwitch` raises
+:class:`~repro.durability.SimulatedCrash` (a ``BaseException``, so no
+resilience ladder can absorb it) at an exact point of the durable write
+path, the half-written bytes are left on disk exactly as a real crash
+would leave them, and :meth:`~repro.service.QueryService.recover`
+rebuilds a fresh service from the directory.
+
+One campaign run per kill-point class:
+
+* ``wal_mid_append`` — dies with half a WAL line on disk; recovery
+  must detect the torn record via CRC and drop it, losing exactly the
+  in-flight mutation and nothing else;
+* ``wal_post_append`` — the record is durable, the in-memory apply
+  never ran; recovery must replay it (the mutation *happened*);
+* ``checkpoint_mid`` — dies after a periodic checkpoint's files are
+  written but before the atomic rename; recovery must ignore the tmp
+  debris and use the previous checkpoint + WAL;
+* ``compact_mid`` — dies inside the post-compaction checkpoint; the
+  compact WAL record is durable, so recovery replays the
+  (deterministic) fold and lands on the identical new base.
+
+After each recovery the remaining operation schedule is resumed — the
+recovered epoch says exactly how many operations landed, because every
+mutation bumps the epoch by one — and the final database must answer
+queries **byte-identically** to an uninterrupted reference run, across
+all five engines and through the service path.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.types import SegmentArray
+from ..durability import DurabilityPolicy, KILL_POINTS, KillSwitch, \
+    SimulatedCrash
+from ..ingest import VersionedDatabase
+from ..obs import Telemetry
+from ..service import QueryService, SearchRequest
+from .campaign import _walk_db
+
+__all__ = ["CrashCampaignConfig", "CrashCampaignReport", "CrashRun",
+           "run_crash_campaign"]
+
+#: the engines the post-recovery verification sweeps.
+VERIFY_METHODS = ("gpu_temporal", "gpu_spatiotemporal", "gpu_spatial",
+                  "cpu_rtree", "cpu_scan")
+
+
+@dataclass(frozen=True)
+class CrashCampaignConfig:
+    """Knobs of one crash campaign; everything derives from ``seed``."""
+
+    seed: int = 0
+    #: mutations in the operation schedule (appends/deletes/compacts).
+    num_ops: int = 12
+    #: kill-point classes exercised (one crash run each).
+    kill_points: tuple[str, ...] = KILL_POINTS
+    #: database size: trajectories x timesteps of random walk.
+    num_trajectories: int = 14
+    steps: int = 10
+    queries: int = 3
+    d: float = 2.5
+    #: periodic checkpoint cadence (mutations between checkpoints).
+    checkpoint_every: int = 3
+    sync: str = "fsync"
+    #: verification engines (all five by default).
+    methods: tuple[str, ...] = VERIFY_METHODS
+    #: crash on exactly this mutation at the WAL kill points (None =
+    #: a mid-schedule default); ``chaos --crash-every`` sets it.
+    crash_on_op: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_ops < 4:
+            raise ValueError("num_ops must be >= 4 (the schedule "
+                             "needs room for every kill point)")
+        unknown = set(self.kill_points) - set(KILL_POINTS)
+        if unknown:
+            raise ValueError(f"unknown kill points {sorted(unknown)}; "
+                             f"expected a subset of {KILL_POINTS}")
+        if self.crash_on_op is not None and not (
+                1 <= self.crash_on_op <= self.num_ops):
+            raise ValueError("crash_on_op must be within the "
+                             "operation schedule (1..num_ops)")
+
+
+@dataclass
+class CrashRun:
+    """One kill-point's crash, recovery, and verification."""
+
+    point: str
+    occurrence: int
+    #: the simulated crash actually fired (a run whose kill point was
+    #: never reached proves nothing).
+    fired: bool = False
+    #: operations applied before the crash (== recovered epoch).
+    recovered_epoch: int = -1
+    #: WAL records replayed on top of the checkpoint.
+    replayed: int = 0
+    #: CRC-torn final records dropped during recovery.
+    torn_dropped: int = 0
+    #: operations re-driven after recovery to finish the schedule.
+    resumed_ops: int = 0
+    #: engines prewarmed from the recovered checkpoint.
+    prewarmed: int = 0
+    #: the first post-recovery request on the prewarmed engine was a
+    #: cache hit (None when the crash predates the first checkpoint
+    #: that persisted an engine).
+    prewarm_hit: bool | None = None
+    #: per-engine byte-identity vs the uninterrupted reference.
+    identical: dict = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return (self.error is None and self.fired
+                and all(self.identical.values()))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"point": self.point, "occurrence": self.occurrence,
+                "fired": self.fired,
+                "recovered_epoch": self.recovered_epoch,
+                "replayed": self.replayed,
+                "torn_dropped": self.torn_dropped,
+                "resumed_ops": self.resumed_ops,
+                "prewarmed": self.prewarmed,
+                "prewarm_hit": self.prewarm_hit,
+                "identical": dict(self.identical),
+                "error": self.error, "ok": self.ok}
+
+
+@dataclass
+class CrashCampaignReport:
+    """Everything one crash campaign measured."""
+
+    config: CrashCampaignConfig
+    runs: list[CrashRun] = field(default_factory=list)
+    #: final epoch of the uninterrupted reference run.
+    reference_epoch: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.runs) and all(run.ok for run in self.runs)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"seed": self.config.seed,
+                "num_ops": self.config.num_ops,
+                "reference_epoch": self.reference_epoch,
+                "ok": self.ok,
+                "runs": [run.to_dict() for run in self.runs]}
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [f"crash campaign: seed={self.config.seed} "
+                 f"ops={self.config.num_ops} "
+                 f"reference_epoch={self.reference_epoch} "
+                 f"-> {'OK' if self.ok else 'FAILED'}"]
+        for run in self.runs:
+            engines = sum(run.identical.values())
+            lines.append(
+                f"  {run.point:16s} occ={run.occurrence:<2d} "
+                f"fired={'y' if run.fired else 'N'} "
+                f"epoch={run.recovered_epoch:<3d} "
+                f"replayed={run.replayed} torn={run.torn_dropped} "
+                f"resumed={run.resumed_ops} prewarm={run.prewarmed}"
+                f"{'(hit)' if run.prewarm_hit else ''} "
+                f"identical={engines}/{len(run.identical)}"
+                + (f"  ERROR: {run.error}" if run.error else ""))
+        return "\n".join(lines)
+
+
+# -- schedule -----------------------------------------------------------------
+
+
+def _build_schedule(cfg: CrashCampaignConfig,
+                    base: SegmentArray) -> list[tuple]:
+    """A deterministic, always-valid mutation schedule.
+
+    Ops are ``("append", SegmentArray)``, ``("delete", traj_id)`` or
+    ``("compact",)``.  Validity (no deleting a tombstoned or unknown
+    id, never emptying the database) is guaranteed by dry-running the
+    schedule against a scratch database while generating it.
+    """
+    rng = np.random.default_rng(cfg.seed + 0xC4A54)
+    scratch = VersionedDatabase(base)
+    schedule: list[tuple] = []
+    next_offset = 1000
+    for i in range(cfg.num_ops):
+        # Guarantee compactions mid-stream so compact_mid and the
+        # replay-a-compaction path are always exercised.
+        if i in (cfg.num_ops // 3, 2 * cfg.num_ops // 3):
+            kind = "compact"
+        else:
+            kind = rng.choice(["append", "append", "append", "delete"])
+        if kind == "delete":
+            snap = scratch.snapshot()
+            live = sorted(set(np.unique(snap.base.traj_ids).tolist())
+                          | set(np.unique(snap.delta.traj_ids).tolist()))
+            live = [t for t in live if t not in snap.tombstones]
+            if len(live) < 2:
+                kind = "append"  # never empty the database
+            else:
+                victim = int(live[int(rng.integers(len(live)))])
+                scratch.delete_trajectory(victim)
+                schedule.append(("delete", victim))
+                continue
+        if kind == "compact":
+            scratch.compact()
+            schedule.append(("compact",))
+            continue
+        segs = _walk_db(int(rng.integers(1, 3)), cfg.steps,
+                        seed=cfg.seed + 31 * i,
+                        id_offset=next_offset)
+        next_offset += 100
+        scratch.append(segs)
+        schedule.append(("append", segs))
+    return schedule
+
+
+def _apply(service: QueryService, op: tuple) -> None:
+    if op[0] == "append":
+        service.ingest(op[1])
+    elif op[0] == "delete":
+        service.delete_trajectory(op[1])
+    else:
+        service.compact()
+
+
+def _result_bytes(results) -> tuple[bytes, ...]:
+    """Canonical raw bytes of a result set — byte-level identity, not
+    tolerance-based equivalence."""
+    c = results.canonical()
+    return (c.q_ids.tobytes(), c.e_ids.tobytes(),
+            c.t_lo.tobytes(), c.t_hi.tobytes())
+
+
+def _verify_results(service: QueryService, queries: SegmentArray,
+                    cfg: CrashCampaignConfig
+                    ) -> dict[str, tuple[tuple, bool]]:
+    """Final-state answers per engine: (canonical bytes, cache hit)."""
+    out = {}
+    for method in cfg.methods:
+        response = service.submit(SearchRequest(
+            queries=queries, d=cfg.d, method=method,
+            request_id=f"verify-{method}"))
+        if not response.ok:
+            raise RuntimeError(f"{method}: verification request "
+                               f"rejected: {response.reason}")
+        if response.metrics.degraded:
+            raise RuntimeError(f"{method}: verification request was "
+                               f"degraded to another engine")
+        out[method] = (_result_bytes(response.outcome.results),
+                       response.metrics.cache_hit)
+    return out
+
+
+# -- the campaign -------------------------------------------------------------
+
+
+def _occurrences(cfg: CrashCampaignConfig) -> dict[str, int]:
+    """Which visit of each kill point the campaign crashes on.
+
+    WAL points are visited once per mutation, so mid-schedule
+    occurrences exercise a non-trivial prefix.  ``checkpoint_mid`` is
+    visited once by the bootstrap checkpoint (attach) before any
+    periodic one — crashing *there* would leave nothing to recover
+    from (correct, but vacuous), so occurrence 2 targets the first
+    periodic checkpoint.  ``compact_mid`` is only visited by
+    post-compaction checkpoints.
+    """
+    wal_mid = cfg.crash_on_op or max(2, cfg.num_ops // 2)
+    wal_post = cfg.crash_on_op or max(2, cfg.num_ops // 3)
+    return {
+        "wal_mid_append": wal_mid,
+        "wal_post_append": wal_post,
+        "checkpoint_mid": 2,
+        "compact_mid": 1,
+    }
+
+
+def _crash_run(cfg: CrashCampaignConfig, base: SegmentArray,
+               schedule: list[tuple], queries: SegmentArray,
+               point: str, occurrence: int,
+               reference: dict[str, tuple], directory: Path
+               ) -> CrashRun:
+    run = CrashRun(point=point, occurrence=occurrence)
+    policy = DurabilityPolicy(sync=cfg.sync,
+                              checkpoint_every=cfg.checkpoint_every)
+    kill = KillSwitch(point, occurrence=occurrence)
+    service = QueryService(base, durability_dir=directory,
+                           durability=policy, durability_kill=kill,
+                           auto_compact=False,
+                           telemetry=Telemetry(enabled=False))
+    try:
+        # Warm one engine up front so later checkpoints persist its
+        # artifact — that is what post-recovery prewarm restores.
+        service.submit(SearchRequest(queries=queries, d=cfg.d,
+                                     method=cfg.methods[0],
+                                     request_id="warmup"))
+        for op in schedule:
+            _apply(service, op)
+    except SimulatedCrash:
+        run.fired = True
+    # The crashed service is abandoned exactly as a dead process
+    # leaves it: WAL handle unreleased, tmp debris on disk.
+    if not run.fired:
+        run.error = (f"kill point {point} (occurrence {occurrence}) "
+                     f"was never reached by the schedule")
+        return run
+    try:
+        recovered = QueryService.recover(
+            directory, policy=policy, auto_compact=False,
+            telemetry=Telemetry(enabled=False))
+        rec = recovered.last_recovery
+        run.recovered_epoch = rec.epoch
+        run.replayed = rec.replayed
+        run.torn_dropped = rec.torn_dropped
+        run.prewarmed = len(rec.engines)
+        # Every mutation bumps the epoch by exactly one, so the
+        # recovered epoch *is* the count of operations that landed;
+        # resume the schedule right after them.
+        for op in schedule[rec.epoch:]:
+            _apply(recovered, op)
+            run.resumed_ops += 1
+        answers = _verify_results(recovered, queries, cfg)
+        run.identical = {m: answers[m][0] == reference[m][0]
+                         for m in cfg.methods}
+        if run.prewarmed:
+            run.prewarm_hit = answers[cfg.methods[0]][1]
+        recovered.shutdown()
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        run.error = f"{type(exc).__name__}: {exc}"
+    return run
+
+
+def run_crash_campaign(cfg: CrashCampaignConfig | None = None, *,
+                       directory: str | Path | None = None
+                       ) -> CrashCampaignReport:
+    """Run one crash campaign; returns the report.
+
+    ``directory`` hosts the per-run durability directories (a temp dir
+    that is cleaned up when None).
+    """
+    cfg = cfg or CrashCampaignConfig()
+    base = _walk_db(cfg.num_trajectories, cfg.steps, seed=cfg.seed)
+    queries = _walk_db(cfg.queries, cfg.steps, seed=cfg.seed + 9999,
+                       id_offset=90_000)
+    schedule = _build_schedule(cfg, base)
+    report = CrashCampaignReport(config=cfg)
+
+    # Uninterrupted reference: same schedule, no durability, no kill.
+    reference_svc = QueryService(base, auto_compact=False,
+                                 telemetry=Telemetry(enabled=False))
+    reference_svc.submit(SearchRequest(queries=queries, d=cfg.d,
+                                       method=cfg.methods[0],
+                                       request_id="warmup"))
+    for op in schedule:
+        _apply(reference_svc, op)
+    report.reference_epoch = reference_svc.versioned.epoch
+    reference = _verify_results(reference_svc, queries, cfg)
+
+    occurrences = _occurrences(cfg)
+    owned_tmp = directory is None
+    root = Path(directory) if directory is not None \
+        else Path(tempfile.mkdtemp(prefix="crash-campaign-"))
+    try:
+        for point in cfg.kill_points:
+            run_dir = root / f"run-{point}"
+            if run_dir.exists():
+                shutil.rmtree(run_dir)
+            report.runs.append(_crash_run(
+                cfg, base, schedule, queries, point,
+                occurrences[point], reference, run_dir))
+    finally:
+        if owned_tmp:
+            shutil.rmtree(root, ignore_errors=True)
+    return report

@@ -27,7 +27,8 @@ reused across ingests instead of invalidated.
 
 from .overlay import overlay_search
 from .versioned import (CompactionPolicy, CompactionResult, IngestError,
-                        IngestReceipt, Snapshot, VersionedDatabase)
+                        IngestReceipt, Snapshot, VersionedDatabase,
+                        as_segments)
 
 __all__ = [
     "CompactionPolicy",
@@ -36,5 +37,6 @@ __all__ = [
     "IngestReceipt",
     "Snapshot",
     "VersionedDatabase",
+    "as_segments",
     "overlay_search",
 ]

@@ -30,7 +30,25 @@ from ..core.result import ResultSet
 from ..core.types import SegmentArray, Trajectory, concatenate
 
 __all__ = ["CompactionPolicy", "CompactionResult", "IngestError",
-           "IngestReceipt", "Snapshot", "VersionedDatabase"]
+           "IngestReceipt", "Snapshot", "VersionedDatabase",
+           "as_segments"]
+
+
+def as_segments(segments: SegmentArray | Trajectory |
+                list[Trajectory]) -> SegmentArray:
+    """Normalize the polymorphic append input to one SegmentArray.
+
+    Shared by :meth:`VersionedDatabase.append` and the durability
+    layer, which must WAL exactly what the append will see.
+    """
+    if isinstance(segments, Trajectory):
+        segments = [segments]
+    if isinstance(segments, list):
+        segments = SegmentArray.from_trajectories(segments)
+    if not isinstance(segments, SegmentArray):
+        raise TypeError("append expects a SegmentArray, a "
+                        "Trajectory, or a list of Trajectory")
+    return segments
 
 
 class IngestError(ValueError):
@@ -281,6 +299,34 @@ class VersionedDatabase:
         self.total_deletes = 0
         self.total_compactions = 0
 
+    @classmethod
+    def restore(cls, *, base: SegmentArray, delta: SegmentArray,
+                tombstones, epoch: int, delta_epoch: int,
+                base_version: int, next_seg_id: int,
+                policy: CompactionPolicy | None = None,
+                counters: dict | None = None) -> "VersionedDatabase":
+        """Reconstruct a database at an exact physical state.
+
+        Used by crash recovery (:mod:`repro.durability`): the arguments
+        come from a checkpoint, and the WAL tail is replayed on top
+        with the ordinary mutation methods — ``next_seg_id`` makes the
+        replayed appends assign the identical seg_ids they did before
+        the crash.
+        """
+        db = cls(base, policy=policy)
+        if len(delta):
+            db._delta_parts = [delta]
+            db._delta_rows = len(delta)
+        db._tombstones = set(int(t) for t in tombstones)
+        db._epoch = int(epoch)
+        db._delta_epoch = int(delta_epoch)
+        db._base_version = int(base_version)
+        db._next_seg_id = int(next_seg_id)
+        for name in ("total_appends", "total_appended_segments",
+                     "total_deletes", "total_compactions"):
+            setattr(db, name, int((counters or {}).get(name, 0)))
+        return db
+
     # -- introspection -----------------------------------------------------------
 
     @property
@@ -306,6 +352,12 @@ class VersionedDatabase:
     @property
     def num_tombstones(self) -> int:
         return len(self._tombstones)
+
+    @property
+    def next_seg_id(self) -> int:
+        """The seg_id the next appended row will receive (persisted by
+        checkpoints so WAL replay re-stamps identically)."""
+        return self._next_seg_id
 
     def should_compact(self) -> bool:
         """Has the delta (or tombstone load) crossed the policy bounds?"""
@@ -343,6 +395,43 @@ class VersionedDatabase:
                 base_version=self._base_version)
         return self._snapshot
 
+    # -- mutation prechecks ------------------------------------------------------
+    # The durability layer WALs a mutation *before* applying it, so it
+    # must be able to reject an invalid mutation without logging it
+    # (a logged-but-unappliable record would poison every replay).
+
+    def check_append(self, segments: SegmentArray) -> None:
+        """Raise :class:`IngestError` iff :meth:`append` would."""
+        if len(segments) == 0:
+            raise IngestError("nothing to append: the segment set is "
+                              "empty (single-point trajectories carry "
+                              "no segments)")
+        dead = self._tombstones.intersection(
+            np.unique(segments.traj_ids).tolist())
+        if dead:
+            raise IngestError(
+                f"trajectory ids {sorted(dead)} are tombstoned; "
+                f"compact before re-using a deleted id")
+
+    def check_delete(self, traj_id: int) -> bool:
+        """Raise iff :meth:`delete_trajectory` would; returns whether
+        the delete will actually mutate (False = already tombstoned,
+        a no-op that must not be WAL-logged)."""
+        traj_id = int(traj_id)
+        if traj_id in self._tombstones:
+            return False
+        hidden = int((self._base.traj_ids == traj_id).sum())
+        for part in self._delta_parts:
+            hidden += int((part.traj_ids == traj_id).sum())
+        if hidden == 0:
+            raise IngestError(f"trajectory {traj_id} is not in the "
+                              f"database")
+        if self.snapshot().num_logical_segments - hidden <= 0:
+            raise IngestError(
+                "refusing to delete the last live trajectory: the "
+                "database must stay non-empty")
+        return True
+
     # -- mutations ---------------------------------------------------------------
 
     def append(self, segments: SegmentArray | Trajectory |
@@ -357,23 +446,8 @@ class VersionedDatabase:
         the append would be silently invisible; re-use the id after a
         compaction has physically dropped the old rows.
         """
-        if isinstance(segments, Trajectory):
-            segments = [segments]
-        if isinstance(segments, list):
-            segments = SegmentArray.from_trajectories(segments)
-        if not isinstance(segments, SegmentArray):
-            raise TypeError("append expects a SegmentArray, a "
-                            "Trajectory, or a list of Trajectory")
-        if len(segments) == 0:
-            raise IngestError("nothing to append: the segment set is "
-                              "empty (single-point trajectories carry "
-                              "no segments)")
-        dead = self._tombstones.intersection(
-            np.unique(segments.traj_ids).tolist())
-        if dead:
-            raise IngestError(
-                f"trajectory ids {sorted(dead)} are tombstoned; "
-                f"compact before re-using a deleted id")
+        segments = as_segments(segments)
+        self.check_append(segments)
         n = len(segments)
         seg_ids = np.arange(self._next_seg_id,
                             self._next_seg_id + n, dtype=np.int64)
@@ -400,18 +474,11 @@ class VersionedDatabase:
         tombstone hides (base + delta).  Deleting an unknown id raises
         (a typo should not silently 'succeed')."""
         traj_id = int(traj_id)
-        if traj_id in self._tombstones:
+        if not self.check_delete(traj_id):
             return 0
         hidden = int((self._base.traj_ids == traj_id).sum())
         for part in self._delta_parts:
             hidden += int((part.traj_ids == traj_id).sum())
-        if hidden == 0:
-            raise IngestError(f"trajectory {traj_id} is not in the "
-                              f"database")
-        if self.snapshot().num_logical_segments - hidden <= 0:
-            raise IngestError(
-                "refusing to delete the last live trajectory: the "
-                "database must stay non-empty")
         self._tombstones.add(traj_id)
         self._bump(delta=True)
         self.total_deletes += 1

@@ -51,6 +51,8 @@ class EventLog:
                  enabled: bool = True) -> None:
         self.enabled = enabled
         self._events: deque[Event] = deque(maxlen=maxlen)
+        #: lines :meth:`from_jsonl` skipped as corrupt or torn.
+        self.corrupt_lines = 0
 
     def emit(self, kind: str, **fields) -> Event | None:
         """Record one event now; returns it (None when disabled)."""
@@ -87,11 +89,22 @@ class EventLog:
     @classmethod
     def from_jsonl(cls, text: str, *, maxlen: int = 10_000
                    ) -> "EventLog":
-        """Inverse of :meth:`to_jsonl`."""
+        """Inverse of :meth:`to_jsonl`.
+
+        Tolerant of a crashed writer: a corrupt or torn line (most
+        commonly the truncated final line of an interrupted flush) is
+        skipped and counted in ``corrupt_lines``, never raised — an
+        audit log must stay readable after the crash it documents.
+        """
         log = cls(maxlen=maxlen)
         for line in text.splitlines():
-            if line.strip():
+            if not line.strip():
+                continue
+            try:
                 log._events.append(Event.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError):
+                log.corrupt_lines += 1
         return log
 
 
@@ -137,6 +150,8 @@ class SlowQueryLog:
         self.threshold_s = float(threshold_s)
         self.enabled = enabled
         self._entries: deque[SlowQuery] = deque(maxlen=maxlen)
+        #: lines :meth:`from_jsonl` skipped as corrupt or torn.
+        self.corrupt_lines = 0
 
     def observe(self, *, request_id: str, engine: str,
                 modeled_seconds: float, queue_wait_s: float = 0.0,
@@ -161,6 +176,36 @@ class SlowQueryLog:
 
     def entries(self) -> list[SlowQuery]:
         return list(self._entries)
+
+    # -- JSON lines ---------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest first."""
+        return "".join(json.dumps(e.to_dict()) + "\n" for e in self)
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+    @classmethod
+    def from_jsonl(cls, text: str, *, threshold_s: float = 1.0,
+                   maxlen: int = 1000) -> "SlowQueryLog":
+        """Inverse of :meth:`to_jsonl`; corrupt or torn lines are
+        skipped and counted in ``corrupt_lines`` (see
+        :meth:`EventLog.from_jsonl`)."""
+        log = cls(threshold_s, maxlen=maxlen)
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                log._entries.append(
+                    SlowQuery.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError):
+                log.corrupt_lines += 1
+        return log
 
     def render(self) -> str:
         """Human-readable table, slowest first."""

@@ -63,6 +63,7 @@ from ..core.result import ResultSet
 from ..core.search import ENGINE_REGISTRY, SearchOutcome
 from ..core.types import SegmentArray
 from ..distributed.partition import partition_database
+from ..durability import DurabilityManager, DurabilityPolicy
 from ..engines.base import (Deadline, DeadlineExceededError, GpuEngineBase,
                             RetryPolicy, deadline_scope)
 from ..engines.config import ConfigError
@@ -71,7 +72,8 @@ from ..gpu.costmodel import CostBreakdown, CpuCostModel, GpuCostModel
 from ..gpu.device import DeviceSpec, TESLA_C2075, VirtualGPU
 from ..gpu.profiler import CpuSearchProfile, RequestMetrics, SearchProfile
 from ..ingest import (CompactionPolicy, CompactionResult, IngestReceipt,
-                      Snapshot, VersionedDatabase, overlay_search)
+                      Snapshot, VersionedDatabase, as_segments,
+                      overlay_search)
 from ..obs import Telemetry
 from .cache import (CacheEntry, EngineCache, canonical_params,
                     database_fingerprint)
@@ -256,7 +258,7 @@ class QueryService:
     #: CPU rungs: the indexed host engine, then the index-free scan.
     CPU_LADDER = ("cpu_rtree", "cpu_scan")
 
-    def __init__(self, database: SegmentArray, *,
+    def __init__(self, database: SegmentArray | VersionedDatabase, *,
                  num_devices: int = 1,
                  spec: DeviceSpec = TESLA_C2075,
                  gpu_model: GpuCostModel | None = None,
@@ -273,16 +275,30 @@ class QueryService:
                  lane_quarantine_s: float = 60.0,
                  crosscheck_every: int = 8,
                  compaction: CompactionPolicy | None = None,
-                 auto_compact: bool = True) -> None:
-        if len(database) == 0:
-            raise ValueError("service needs a non-empty database")
+                 auto_compact: bool = True,
+                 durability_dir=None,
+                 durability: DurabilityPolicy | None = None,
+                 durability_kill=None) -> None:
         if max_queue_delay_s is not None and max_queue_delay_s < 0:
             raise ValueError("max_queue_delay_s must be >= 0 (or None)")
         if crosscheck_every < 0:
             raise ValueError("crosscheck_every must be >= 0")
+        if durability is not None and durability_dir is None:
+            raise ValueError("a DurabilityPolicy needs a "
+                             "durability_dir to apply to")
         #: the live, versioned database: appends/tombstones land in its
         #: delta; the engines index its (stable) base.
-        self.versioned = VersionedDatabase(database, policy=compaction)
+        if isinstance(database, VersionedDatabase):
+            # Pre-built (typically by QueryService.recover); adopted
+            # as-is so the recovered epoch/counters survive.
+            self.versioned = database
+            if compaction is not None:
+                self.versioned.policy = compaction
+        else:
+            if len(database) == 0:
+                raise ValueError("service needs a non-empty database")
+            self.versioned = VersionedDatabase(database,
+                                               policy=compaction)
         self.auto_compact = auto_compact
         self.pool = DevicePool(num_devices, spec,
                                failure_threshold=lane_failure_threshold,
@@ -318,6 +334,25 @@ class QueryService:
         self._fp_version = -1
         self._fp = ""
         self._prewarm_failures = 0
+        #: write-ahead logging + checkpoints (None = memory-only).
+        self.durability: DurabilityManager | None = None
+        #: the last RecoveryResult (set by :meth:`recover`).
+        self.last_recovery = None
+        self._shut_down = False
+        if durability_dir is not None:
+            manager = DurabilityManager(durability_dir,
+                                        policy=durability,
+                                        kill=durability_kill)
+            with self.telemetry.activate():
+                if isinstance(database, VersionedDatabase):
+                    # A recovered database re-attaches to its own
+                    # directory: the state on disk *is* this database,
+                    # so no bootstrap checkpoint is needed.
+                    if not manager.has_state:
+                        manager.attach(self.versioned)
+                else:
+                    manager.attach(self.versioned)
+            self.durability = manager
 
     @property
     def database(self) -> SegmentArray:
@@ -412,6 +447,11 @@ class QueryService:
         """
         with self.telemetry.activate(), \
                 self.telemetry.span("service.ingest") as span:
+            segments = as_segments(segments)
+            if self.durability is not None:
+                # WAL discipline: validate, log + sync, then apply.
+                self.versioned.check_append(segments)
+                self.durability.log_append(self.versioned, segments)
             receipt = self.versioned.append(segments)
             span.set_attributes(epoch=receipt.epoch,
                                 segments=receipt.num_segments)
@@ -430,6 +470,7 @@ class QueryService:
                 compaction_due=receipt.compaction_due)
             if receipt.compaction_due and self.auto_compact:
                 self._compact(trigger="policy")
+            self._maybe_checkpoint()
         return receipt
 
     def delete_trajectory(self, traj_id: int) -> int:
@@ -440,6 +481,12 @@ class QueryService:
         with self.telemetry.activate(), \
                 self.telemetry.span("service.delete",
                                     traj_id=int(traj_id)):
+            if self.durability is not None \
+                    and self.versioned.check_delete(traj_id):
+                # Only a delete that actually mutates is logged: an
+                # already-tombstoned id is a no-op that must not
+                # consume an epoch in the WAL.
+                self.durability.log_delete(self.versioned, traj_id)
             hidden = self.versioned.delete_trajectory(traj_id)
             reg = self.telemetry.metrics
             reg.counter("repro_tombstones_total",
@@ -450,6 +497,7 @@ class QueryService:
                 epoch=self.versioned.epoch, hidden_segments=hidden)
             if self.auto_compact and self.versioned.should_compact():
                 self._compact(trigger="policy")
+            self._maybe_checkpoint()
         return hidden
 
     def compact(self) -> CompactionResult:
@@ -473,6 +521,11 @@ class QueryService:
                 if self._key_base(e.key) == old_fp]
         with self.telemetry.span("service.compaction",
                                  trigger=trigger) as span:
+            if self.durability is not None:
+                # Compaction is deterministic given the pre-state, so
+                # the WAL record carries no payload: replay re-runs
+                # the fold and lands on the identical base.
+                self.durability.log_compact(self.versioned)
             result = self.versioned.compact()
             span.set_attributes(merged=result.merged_segments,
                                 dropped=result.dropped_segments,
@@ -497,6 +550,13 @@ class QueryService:
             snapshot = self.versioned.snapshot()
             for method, canon in warm:
                 self._prewarm(snapshot, method, canon)
+            if self.durability is not None \
+                    and self.durability.policy.checkpoint_on_compact:
+                # Checkpoint after the prewarm so the rebuilt engines
+                # land in the snapshot as restart artifacts.  The
+                # crash campaign kills here: the compact WAL record is
+                # durable, the checkpoint rename has not happened.
+                self._checkpoint(kill_point="compact_mid")
         return result
 
     def _prewarm(self, snapshot: Snapshot, method: str,
@@ -542,6 +602,177 @@ class QueryService:
         reg.gauge("repro_tombstoned_trajectories",
                   "live tombstones").set(v.num_tombstones)
 
+    # -- durability --------------------------------------------------------------
+
+    def checkpoint(self):
+        """Write a durable checkpoint now; returns its path.  The WAL
+        is truncated through the checkpointed epoch and warm engines
+        are persisted as restart artifacts."""
+        if self.durability is None:
+            raise ValueError("service has no durability_dir; there is "
+                             "nothing to checkpoint to")
+        with self.telemetry.activate():
+            return self._checkpoint()
+
+    def _checkpoint(self, *, kill_point: str = "checkpoint_mid"):
+        return self.durability.checkpoint(
+            self.versioned, warm_engines=self._warm_engines(),
+            kill_point=kill_point)
+
+    def _maybe_checkpoint(self) -> None:
+        if self.durability is not None \
+                and self.durability.checkpoint_due():
+            self._checkpoint()
+
+    def _warm_engines(self) -> list[tuple[str, dict, object]]:
+        """``(method, params, engine)`` triples worth persisting in a
+        checkpoint: whole-database engines over the current base.
+        Shard engines are skipped — their keys embed the partition
+        layout and they rebuild quickly relative to artifact size."""
+        current = self.fingerprint
+        triples = []
+        for entry in self.cache.entries():
+            db_key = entry.key[0]
+            if isinstance(db_key, tuple) or db_key != current:
+                continue
+            triples.append((entry.key[1], dict(entry.key[2]),
+                            entry.engine))
+        return triples
+
+    @classmethod
+    def recover(cls, durability_dir, *,
+                policy: DurabilityPolicy | None = None,
+                kill=None, telemetry: Telemetry | None = None,
+                **kwargs) -> "QueryService":
+        """Rebuild a service from its durability directory.
+
+        Loads the newest valid checkpoint, replays the WAL tail
+        (dropping a CRC-torn final record), and returns a service at
+        the exact pre-crash logical epoch.  Persisted engine artifacts
+        are installed into the cache (or rebuilt from their recipes)
+        so the first post-restart request is a cache hit.  Extra
+        keyword arguments are forwarded to the constructor.
+        """
+        telemetry = telemetry or Telemetry()
+        manager = DurabilityManager(durability_dir, policy=policy,
+                                    kill=kill)
+        with telemetry.activate(), \
+                telemetry.span("service.recovery",
+                               directory=str(manager.directory)) as sp:
+            result = manager.recover()
+            service = cls(result.database, telemetry=telemetry,
+                          **kwargs)
+            service.durability = manager
+            service.last_recovery = result
+            prewarmed = service._prewarm_recovered(result)
+            sp.set_attributes(
+                checkpoint_epoch=result.checkpoint_epoch,
+                epoch=result.epoch, replayed=result.replayed,
+                torn_dropped=result.torn_dropped,
+                prewarmed=prewarmed)
+        return service
+
+    def _prewarm_recovered(self, result) -> int:
+        """Warm the engine cache from a recovery's recipes; returns
+        the number of engines installed or rebuilt."""
+        prewarmed = 0
+        snapshot = self.versioned.snapshot()
+        reg = self.telemetry.metrics
+        for recipe in result.engines:
+            if recipe.method not in ENGINE_REGISTRY:
+                continue
+            source = "artifact"
+            try:
+                if not self._install_artifact(result, recipe):
+                    source = "rebuild"
+                    self._engine_entry(
+                        snapshot.base, recipe.method,
+                        dict(recipe.params),
+                        self._base_fingerprint(snapshot),
+                        RequestMetrics())
+            except Exception as exc:  # noqa: BLE001 - prewarm is best-effort
+                self._prewarm_failures += 1
+                reg.counter(
+                    "repro_prewarm_failures_total",
+                    "post-compaction engine rebuilds that failed").inc(
+                    engine=recipe.method)
+                self.telemetry.events.emit(
+                    "recovery_prewarm_failed", engine=recipe.method,
+                    error=f"{type(exc).__name__}: {exc}")
+                continue
+            prewarmed += 1
+            reg.counter("repro_recovery_prewarmed_total",
+                        "engines prewarmed during recovery").inc(
+                engine=recipe.method, source=source)
+        return prewarmed
+
+    def _install_artifact(self, result, recipe) -> bool:
+        """Install one pickled engine artifact under its cache key;
+        False means the caller must rebuild from the recipe (missing
+        or unloadable artifact, or the WAL replay compacted past the
+        base the artifact indexes)."""
+        checkpoint = result.checkpoint
+        if checkpoint is None or recipe.artifact is None:
+            return False
+        if checkpoint.base_version != self.versioned.base_version:
+            return False
+        engine = checkpoint.load_engine_artifact(recipe)
+        if engine is None:
+            return False
+        cls_ = ENGINE_REGISTRY[recipe.method]
+        params = dict(recipe.params)
+        if cls_.config_type is not None:
+            canon = canonical_params(
+                cls_.config_type.from_params(**params).to_dict())
+        else:
+            canon = canonical_params(params)
+        key = (self.fingerprint, recipe.method, canon)
+        if key in self.cache:
+            return True
+        gpu = getattr(engine, "gpu", None)
+        nbytes = (gpu.memory.allocated_bytes if gpu is not None
+                  else 0)
+        lane = (self.pool.home_for(nbytes).index if gpu is not None
+                else DevicePool.HOST_LANE)
+        if gpu is not None:
+            # Re-home on a live lane and swap the pickled (dead) fault
+            # injector for this service's.
+            gpu.faults = self.faults
+            gpu.memory.faults = self.faults
+            gpu.transfers.faults = self.faults
+            gpu.set_lane(lane)
+            if self.retry is not None:
+                engine.retry = self.retry
+        entry = CacheEntry(key=key, engine=engine, gpu=gpu, lane=lane,
+                           nbytes=nbytes, build_wall_s=0.0)
+        self.pool.place(lane, nbytes)
+        self.cache.put(entry)
+        return True
+
+    def shutdown(self) -> None:
+        """Flush the observability logs next to the durable state and
+        close the WAL.  Idempotent; non-durable services no-op."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        if self.durability is None:
+            return
+        directory = self.durability.directory
+        try:
+            self.telemetry.events.write_jsonl(
+                directory / "events.jsonl")
+            self.telemetry.slow_log.write_jsonl(
+                directory / "slow_queries.jsonl")
+        finally:
+            self.durability.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
     def stats(self) -> dict:
         """Service-level counters for dashboards and tests.
 
@@ -580,6 +811,8 @@ class QueryService:
                          for m_, b in sorted(self._breakers.items())},
             "ingest": {**self.versioned.stats(),
                        "prewarm_failures": self._prewarm_failures},
+            "durability": (self.durability.stats()
+                           if self.durability is not None else None),
         }
 
     # -- request execution ----------------------------------------------------------

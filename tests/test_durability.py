@@ -1,0 +1,426 @@
+"""Durability layer: WAL framing, checkpoints, recovery, service wiring."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.types import SegmentArray
+from repro.data.io import load_segments, save_segments
+from repro.durability import (DurabilityError, DurabilityManager,
+                              DurabilityPolicy, KillSwitch,
+                              SimulatedCrash, WalCorruptionError,
+                              WriteAheadLog, list_checkpoints,
+                              load_checkpoint, read_wal,
+                              write_checkpoint)
+from repro.durability.wal import decode_line, encode_record, WalRecord
+from repro.ingest import IngestError, VersionedDatabase
+from repro.service import QueryService, SearchRequest
+from tests.conftest import make_walk_trajectories
+
+
+def _db(seed=0, n=10, steps=8, offset=0):
+    trajs = make_walk_trajectories(n, steps, seed=seed)
+    if offset:
+        from repro.core.types import Trajectory
+        trajs = [Trajectory(t.traj_id + offset, t.times, t.positions)
+                 for t in trajs]
+    return SegmentArray.from_trajectories(trajs)
+
+
+# -- WAL framing --------------------------------------------------------------
+
+
+class TestWalFraming:
+    def test_roundtrip(self):
+        rec = WalRecord(lsn=3, op="delete", epoch=7,
+                        payload={"traj_id": 4})
+        assert decode_line(encode_record(rec).rstrip(b"\n")) == rec
+
+    def test_crc_guards_every_byte(self):
+        # Any single-byte flip either fails the frame outright or
+        # decodes to the semantically identical record (e.g. a
+        # mangled key name that from_dict ignores) — never to a
+        # *different* mutation.
+        original = WalRecord(lsn=1, op="compact", epoch=2)
+        body = encode_record(original).rstrip(b"\n")
+        for i in range(len(body)):
+            mutated = bytearray(body)
+            mutated[i] ^= 0x01
+            decoded = decode_line(bytes(mutated))
+            assert decoded is None or decoded == original
+
+    def test_append_and_read(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl", sync="flush")
+        wal.append("append", 1, {"k": 1})
+        wal.append("delete", 2, {"traj_id": 9})
+        wal.close()
+        scan = read_wal(tmp_path / "wal.jsonl")
+        assert [r.op for r in scan.records] == ["append", "delete"]
+        assert [r.lsn for r in scan.records] == [1, 2]
+        assert scan.torn_records == 0
+
+    def test_torn_tail_dropped_not_raised(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path, sync="flush")
+        wal.append("append", 1, {})
+        wal.append("delete", 2, {"traj_id": 1})
+        wal.close()
+        # Simulate a crash mid-write: append half a record.
+        good = path.read_bytes()
+        half = encode_record(WalRecord(lsn=3, op="compact", epoch=3))
+        path.write_bytes(good + half[:len(half) // 2])
+        scan = read_wal(path)
+        assert len(scan.records) == 2
+        assert scan.torn_records == 1
+        assert scan.valid_bytes == len(good)
+
+    def test_mid_log_hole_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        r1 = encode_record(WalRecord(lsn=1, op="compact", epoch=1))
+        r2 = encode_record(WalRecord(lsn=2, op="compact", epoch=2))
+        path.write_bytes(r1 + b'{"garbage": true}\n' + r2)
+        with pytest.raises(WalCorruptionError):
+            read_wal(path)
+
+    def test_lsn_gap_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        r1 = encode_record(WalRecord(lsn=1, op="compact", epoch=1))
+        r3 = encode_record(WalRecord(lsn=3, op="compact", epoch=2))
+        path.write_bytes(r1 + r3)
+        with pytest.raises(WalCorruptionError):
+            read_wal(path)
+
+    def test_truncate_through(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl", sync="flush")
+        for epoch in (1, 2, 3, 4):
+            wal.append("compact", epoch, {})
+        assert wal.truncate_through(2) == 2
+        scan = read_wal(tmp_path / "wal.jsonl")
+        assert [r.epoch for r in scan.records] == [3, 4]
+        # New appends continue the LSN sequence.
+        rec = wal.append("compact", 5, {})
+        assert rec.lsn == 5
+
+    def test_drop_torn_tail_truncates_file(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path, sync="flush")
+        wal.append("compact", 1, {})
+        wal.close()
+        good = path.read_bytes()
+        path.write_bytes(good + b'{"half')
+        scan = read_wal(path)
+        wal.drop_torn_tail(scan.valid_bytes)
+        assert path.read_bytes() == good
+
+
+# -- kill switch --------------------------------------------------------------
+
+
+class TestKillSwitch:
+    def test_fires_on_exact_occurrence(self):
+        kill = KillSwitch("wal_post_append", occurrence=2)
+        assert not kill.matches("wal_post_append")
+        with pytest.raises(SimulatedCrash) as err:
+            kill.check("wal_post_append")
+        assert err.value.point == "wal_post_append"
+        assert kill.fired
+
+    def test_other_points_ignored(self):
+        kill = KillSwitch("checkpoint_mid", occurrence=1)
+        kill.check("wal_post_append")  # no crash
+        kill.check("compact_mid")
+        with pytest.raises(SimulatedCrash):
+            kill.check("checkpoint_mid")
+
+    def test_simulated_crash_is_not_exception(self):
+        # Resilience ladders catch Exception; a simulated process
+        # death must sail through them.
+        assert not issubclass(SimulatedCrash, Exception)
+        assert issubclass(SimulatedCrash, BaseException)
+
+
+# -- checkpoints --------------------------------------------------------------
+
+
+def _state(db: VersionedDatabase) -> dict:
+    snap = db.snapshot()
+    return {"epoch": db.epoch, "delta_epoch": db.delta_epoch,
+            "base_version": db.base_version,
+            "next_seg_id": db.next_seg_id, "base": snap.base,
+            "delta": snap.delta, "tombstones": snap.tombstones,
+            "counters": {}}
+
+
+class TestCheckpoint:
+    def test_write_load_roundtrip(self, tmp_path):
+        db = VersionedDatabase(_db())
+        db.append(_db(seed=5, n=2, offset=100))
+        db.delete_trajectory(3)
+        path = write_checkpoint(tmp_path / "checkpoints", _state(db))
+        ckpt = load_checkpoint(path)
+        assert ckpt.epoch == db.epoch
+        assert ckpt.next_seg_id == db.next_seg_id
+        assert ckpt.tombstones == {3}
+        assert np.array_equal(ckpt.base.seg_ids,
+                              db.snapshot().base.seg_ids)
+        assert np.array_equal(ckpt.delta.xs, db.snapshot().delta.xs)
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        db = VersionedDatabase(_db())
+        path = write_checkpoint(tmp_path / "checkpoints", _state(db))
+        blob = (path / "base.npz").read_bytes()
+        (path / "base.npz").write_bytes(
+            blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+        from repro.durability import CheckpointError
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_kill_before_rename_leaves_no_checkpoint(self, tmp_path):
+        db = VersionedDatabase(_db())
+        kill = KillSwitch("checkpoint_mid", occurrence=1)
+        with pytest.raises(SimulatedCrash):
+            write_checkpoint(tmp_path / "checkpoints", _state(db),
+                             kill=kill)
+        assert list_checkpoints(tmp_path / "checkpoints") == []
+        # ... but the tmp debris is there and recovery sweeps it.
+        from repro.durability.checkpoint import clean_tmp_dirs
+        assert clean_tmp_dirs(tmp_path / "checkpoints") == 1
+
+    def test_list_newest_first(self, tmp_path):
+        db = VersionedDatabase(_db())
+        write_checkpoint(tmp_path / "c", _state(db))
+        db.compact()
+        write_checkpoint(tmp_path / "c", _state(db))
+        names = [p.name for p in list_checkpoints(tmp_path / "c")]
+        assert names == sorted(names, reverse=True)
+
+
+# -- manager + recovery -------------------------------------------------------
+
+
+class TestRecovery:
+    def _durable_service(self, tmp_path, **kw):
+        kw.setdefault("durability",
+                      DurabilityPolicy(checkpoint_every=100))
+        return QueryService(_db(), durability_dir=tmp_path / "state",
+                            auto_compact=False, **kw)
+
+    def test_attach_refuses_existing_state(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        svc.shutdown()
+        with pytest.raises(DurabilityError, match="recover"):
+            QueryService(_db(), durability_dir=tmp_path / "state")
+
+    def test_policy_without_dir_rejected(self):
+        with pytest.raises(ValueError, match="durability_dir"):
+            QueryService(_db(), durability=DurabilityPolicy())
+
+    def test_recover_restores_exact_epoch_and_results(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        svc.ingest(_db(seed=3, n=2, offset=50))
+        svc.delete_trajectory(1)
+        svc.compact()
+        svc.ingest(_db(seed=4, n=2, offset=80))
+        queries = _db(seed=9, n=2, offset=900)
+        ref = svc.submit(SearchRequest(queries=queries, d=2.5,
+                                       method="cpu_scan"))
+        epoch = svc.versioned.epoch
+        svc.shutdown()
+
+        svc2 = QueryService.recover(tmp_path / "state",
+                                    auto_compact=False)
+        assert svc2.versioned.epoch == epoch
+        assert svc2.fingerprint == svc.fingerprint
+        got = svc2.submit(SearchRequest(queries=queries, d=2.5,
+                                        method="cpu_scan"))
+        a = ref.outcome.results.canonical()
+        b = got.outcome.results.canonical()
+        assert a.q_ids.tobytes() == b.q_ids.tobytes()
+        assert a.e_ids.tobytes() == b.e_ids.tobytes()
+        assert a.t_lo.tobytes() == b.t_lo.tobytes()
+        assert a.t_hi.tobytes() == b.t_hi.tobytes()
+
+    def test_recover_is_idempotent(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        svc.ingest(_db(seed=3, n=2, offset=50))
+        svc.delete_trajectory(2)
+        svc.shutdown()
+        one = QueryService.recover(tmp_path / "state",
+                                   auto_compact=False)
+        two = QueryService.recover(tmp_path / "state",
+                                   auto_compact=False)
+        assert one.versioned.epoch == two.versioned.epoch
+        assert one.fingerprint == two.fingerprint
+        assert one.versioned.next_seg_id == two.versioned.next_seg_id
+        assert one.last_recovery.replayed == two.last_recovery.replayed
+
+    def test_recover_with_empty_wal_tail(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        svc.ingest(_db(seed=3, n=2, offset=50))
+        svc.checkpoint()  # truncates the WAL through the epoch
+        epoch, fp = svc.versioned.epoch, svc.fingerprint
+        svc.shutdown()
+        rec = QueryService.recover(tmp_path / "state",
+                                   auto_compact=False)
+        assert rec.last_recovery.replayed == 0
+        assert rec.versioned.epoch == epoch
+        assert rec.fingerprint == fp
+
+    def test_prewarm_makes_restart_a_cache_hit(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        queries = _db(seed=9, n=2, offset=900)
+        svc.submit(SearchRequest(queries=queries, d=2.5,
+                                 method="gpu_temporal"))
+        svc.checkpoint()
+        svc.shutdown()
+        svc2 = QueryService.recover(tmp_path / "state",
+                                    auto_compact=False)
+        resp = svc2.submit(SearchRequest(queries=queries, d=2.5,
+                                         method="gpu_temporal"))
+        assert resp.metrics.cache_hit
+        total = svc2.telemetry.metrics.counter(
+            "repro_recovery_prewarmed_total").total()
+        assert total == 1
+
+    def test_torn_wal_tail_loses_only_inflight_op(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        svc.ingest(_db(seed=3, n=2, offset=50))
+        epoch_before = svc.versioned.epoch
+        kill = KillSwitch("wal_mid_append", occurrence=1)
+        svc.durability.wal.kill = kill
+        svc.durability.wal.close()  # reopen through the kill path
+        with pytest.raises(SimulatedCrash):
+            svc.ingest(_db(seed=4, n=2, offset=80))
+        rec = QueryService.recover(tmp_path / "state",
+                                   auto_compact=False)
+        assert rec.last_recovery.torn_dropped == 1
+        assert rec.versioned.epoch == epoch_before
+        # The torn bytes are physically gone: appending again works
+        # and a fresh recovery sees a clean log.
+        rec.ingest(_db(seed=5, n=2, offset=120))
+        rec.shutdown()
+        again = QueryService.recover(tmp_path / "state",
+                                     auto_compact=False)
+        assert again.versioned.epoch == epoch_before + 1
+
+    def test_noop_delete_not_logged(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        svc.delete_trajectory(4)
+        appends = svc.durability.wal.appends
+        assert svc.delete_trajectory(4) == 0  # already tombstoned
+        assert svc.durability.wal.appends == appends
+
+    def test_invalid_mutation_not_logged(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        appends = svc.durability.wal.appends
+        with pytest.raises(IngestError):
+            svc.delete_trajectory(99999)
+        with pytest.raises(IngestError):
+            svc.ingest(SegmentArray.empty())
+        assert svc.durability.wal.appends == appends
+
+    def test_shutdown_flushes_logs_and_is_idempotent(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        svc.ingest(_db(seed=3, n=2, offset=50))
+        svc.shutdown()
+        svc.shutdown()
+        events = (tmp_path / "state" / "events.jsonl").read_text()
+        kinds = [json.loads(line)["kind"]
+                 for line in events.splitlines()]
+        assert "ingest" in kinds
+        assert (tmp_path / "state" / "slow_queries.jsonl").exists()
+
+    def test_context_manager_shuts_down(self, tmp_path):
+        with self._durable_service(tmp_path) as svc:
+            svc.ingest(_db(seed=3, n=2, offset=50))
+        assert (tmp_path / "state" / "events.jsonl").exists()
+
+    def test_stats_expose_durability(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        svc.ingest(_db(seed=3, n=2, offset=50))
+        dur = svc.stats()["durability"]
+        assert dur["wal_appends"] == 1
+        assert dur["checkpoints_written"] == 1  # the attach bootstrap
+        plain = QueryService(_db())
+        assert plain.stats()["durability"] is None
+
+    def test_periodic_checkpoint_cadence(self, tmp_path):
+        svc = QueryService(
+            _db(), durability_dir=tmp_path / "state",
+            durability=DurabilityPolicy(checkpoint_every=2),
+            auto_compact=False)
+        for i in range(4):
+            svc.ingest(_db(seed=10 + i, n=1, offset=200 + 10 * i))
+        # attach + two periodic checkpoints (after ops 2 and 4).
+        assert svc.durability.checkpoints_written == 3
+        # keep_checkpoints=2 prunes the oldest.
+        assert len(list_checkpoints(
+            svc.durability.checkpoints_dir)) == 2
+
+    def test_corrupt_newest_checkpoint_skipped(self, tmp_path):
+        # truncate_wal=False keeps the full history, so recovery can
+        # fall back past a corrupt checkpoint and still replay to the
+        # exact pre-crash epoch.
+        svc = self._durable_service(
+            tmp_path, durability=DurabilityPolicy(
+                checkpoint_every=100, truncate_wal=False))
+        svc.ingest(_db(seed=3, n=2, offset=50))
+        svc.checkpoint()
+        epoch = svc.versioned.epoch
+        svc.shutdown()
+        newest = list_checkpoints(
+            tmp_path / "state" / "checkpoints")[0]
+        (newest / "MANIFEST.json").write_text("{broken")
+        rec = QueryService.recover(tmp_path / "state",
+                                   auto_compact=False)
+        assert rec.last_recovery.invalid_checkpoints == 1
+        assert rec.versioned.epoch == epoch
+
+    def test_recover_empty_directory_raises(self, tmp_path):
+        with pytest.raises(DurabilityError, match="no checkpoints"):
+            QueryService.recover(tmp_path / "nothing")
+
+    def test_manager_refuses_bad_sync_mode(self):
+        with pytest.raises(ValueError, match="sync"):
+            DurabilityPolicy(sync="eventually")
+
+    def test_durable_compaction_replays_identically(self, tmp_path):
+        svc = self._durable_service(tmp_path)
+        svc.ingest(_db(seed=3, n=2, offset=50))
+        svc.compact()
+        fp = svc.fingerprint
+        svc.shutdown()
+        # Wipe the checkpoints; force a full WAL replay from the
+        # bootstrap state... not possible (WAL truncated), so instead
+        # verify the recovered fingerprint matches the compacted one.
+        rec = QueryService.recover(tmp_path / "state",
+                                   auto_compact=False)
+        assert rec.fingerprint == fp
+        assert rec.versioned.base_version == svc.versioned.base_version
+
+
+# -- atomic dataset saves (satellite) ----------------------------------------
+
+
+class TestAtomicSave:
+    def test_roundtrip_and_no_tmp_left(self, tmp_path):
+        db = _db()
+        out = save_segments(tmp_path / "db.npz", db)
+        assert out == tmp_path / "db.npz"
+        loaded = load_segments(out)
+        assert np.array_equal(loaded.seg_ids, db.seg_ids)
+        assert list(tmp_path.iterdir()) == [out]
+
+    def test_suffix_appended_like_numpy(self, tmp_path):
+        out = save_segments(tmp_path / "db", _db())
+        assert out.name == "db.npz"
+        assert load_segments(out) is not None
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        a, b = _db(seed=1), _db(seed=2)
+        path = save_segments(tmp_path / "db.npz", a)
+        save_segments(path, b)
+        assert np.array_equal(load_segments(path).xs, b.xs)

@@ -199,6 +199,25 @@ class TestEvents:
         assert Event.from_dict(json.loads(
             json.dumps(ev.to_dict()))).to_dict() == ev.to_dict()
 
+    def test_from_jsonl_skips_and_counts_corrupt_lines(self):
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b", y=2)
+        text = log.to_jsonl()
+        # A torn final line (crash mid-flush), a non-JSON line, and a
+        # JSON line missing required keys — all skipped, all counted.
+        dirty = ('{"not json\n' + text.splitlines()[0] + "\n"
+                 + '{"ts": 1.0}\n' + text.splitlines()[1] + "\n"
+                 + '{"kind": "c", "ts": 2.0, "fie')
+        back = EventLog.from_jsonl(dirty)
+        assert [e.kind for e in back] == ["a", "b"]
+        assert back.corrupt_lines == 3
+
+    def test_from_jsonl_clean_text_counts_zero(self):
+        log = EventLog()
+        log.emit("a")
+        assert EventLog.from_jsonl(log.to_jsonl()).corrupt_lines == 0
+
     def test_disabled_log_emits_nothing(self):
         log = EventLog(enabled=False)
         assert log.emit("x") is None
@@ -228,6 +247,26 @@ class TestSlowQueryLog:
     def test_negative_threshold_rejected(self):
         with pytest.raises(ValueError):
             SlowQueryLog(threshold_s=-1.0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = SlowQueryLog(threshold_s=0.0)
+        log.observe(request_id="r1", engine="cpu_scan",
+                    modeled_seconds=2.0, queue_wait_s=0.25,
+                    degraded=True)
+        path = log.write_jsonl(tmp_path / "slow.jsonl")
+        back = SlowQueryLog.from_jsonl(path.read_text())
+        assert [e.to_dict() for e in back] \
+            == [e.to_dict() for e in log]
+        assert back.corrupt_lines == 0
+
+    def test_from_jsonl_skips_corrupt_lines(self):
+        log = SlowQueryLog(threshold_s=0.0)
+        log.observe(request_id="r1", engine="cpu_scan",
+                    modeled_seconds=2.0)
+        dirty = log.to_jsonl() + '{"request_id": "torn", "eng'
+        back = SlowQueryLog.from_jsonl(dirty)
+        assert [e.request_id for e in back] == ["r1"]
+        assert back.corrupt_lines == 1
 
 
 class TestTelemetryHub:

@@ -45,6 +45,35 @@ class TestCircuitBreaker:
         assert b.state == "open" and b.trips == 2
         assert not b.allow(2.5)
 
+    def test_interleaved_traffic_never_strands_the_breaker_open(self):
+        # Regression: under a repeating failure/recovery pattern the
+        # breaker must keep cycling open -> half_open -> closed; a
+        # stale `skips` count or an unreset `opened_at` would
+        # eventually leave it permanently open (engine stranded).
+        b = CircuitBreaker(failure_threshold=2, reset_after_s=5.0,
+                           probe_after_skips=100)
+        now = 0.0
+        for _ in range(25):
+            # Trip it...
+            while b.state != "open":
+                b.record_failure(now)
+            assert not b.allow(now + 1.0)
+            # ...wait out the reset window; the probe is admitted.
+            now += 6.0
+            assert b.allow(now)
+            assert b.state == "half_open"
+            # A successful probe fully closes and resets the strike
+            # count: a single later failure must not re-trip.
+            assert b.record_success()
+            assert b.state == "closed"
+            assert not b.record_failure(now)
+            b.record_success()
+            assert b.state == "closed"
+            now += 1.0
+        # 25 full cycles, each one trip, none of them sticky.
+        assert b.trips == 25
+        assert b.allow(now)
+
     def test_skip_fallback_unwedges_a_stalled_clock(self):
         b = CircuitBreaker(failure_threshold=1, reset_after_s=1e9,
                            probe_after_skips=3)

@@ -50,7 +50,8 @@ import sys
 
 import numpy as np
 
-from .core.search import DistanceThresholdSearch, ENGINE_REGISTRY
+from .core.search import DistanceThresholdSearch
+from .engines import available
 from .data.io import load_segments, save_segments
 from .data.merger import MergerConfig, merger_dataset
 from .data.queries import queries_from_database
@@ -190,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--d", type=float, required=True,
                    help="query distance threshold")
     p.add_argument("--method", default="auto",
-                   choices=sorted(ENGINE_REGISTRY) + ["auto"],
+                   choices=list(available()) + ["auto"],
                    help="engine, or 'auto' for planner-driven "
                         "selection")
     p.add_argument("--rounds", type=int, default=6,
@@ -264,7 +265,7 @@ def _add_batch_args(p: argparse.ArgumentParser) -> None:
                    help="JSON file with a list of SearchRequest dicts "
                         "(overrides batch synthesis)")
     p.add_argument("--method", default="auto",
-                   choices=sorted(ENGINE_REGISTRY) + ["auto"],
+                   choices=list(available()) + ["auto"],
                    help="engine, or 'auto' for planner-driven selection")
     p.add_argument("--num-devices", type=int, default=1,
                    help="size of the simulated GPU pool")
@@ -283,7 +284,7 @@ def _add_batch_args(p: argparse.ArgumentParser) -> None:
 def _add_search_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("database", help=".npz produced by 'generate'")
     p.add_argument("--method", default="gpu_spatiotemporal",
-                   choices=sorted(ENGINE_REGISTRY))
+                   choices=list(available()))
     p.add_argument("--queries", default=None,
                    help=".npz query set (default: sample from the "
                         "database)")

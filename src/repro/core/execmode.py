@@ -1,0 +1,48 @@
+"""Execution-mode switch: whole-batch vectorized vs per-thread reference.
+
+The production path executes each kernel invocation as a few whole-batch
+NumPy passes over all live threads at once (``"batch"``).  The original
+per-thread/per-block execution is retained as ``"perthread"`` — a slow
+reference that processes one logical thread at a time, exactly like the
+pre-vectorization engines did.  Both paths must produce byte-identical
+results *and* identical per-thread op counts (``KernelStats``); the
+equivalence suite in ``tests/test_batch_equivalence.py`` pins that
+contract across all five engines.
+
+The switch is a :class:`~contextvars.ContextVar` so tests can flip it
+without threading a parameter through every engine layer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = ["current_execution_mode", "execution_mode", "EXECUTION_MODES"]
+
+EXECUTION_MODES = ("batch", "perthread")
+
+_MODE: ContextVar[str] = ContextVar("repro_execution_mode",
+                                    default="batch")
+
+
+def current_execution_mode() -> str:
+    """The ambient execution mode (``"batch"`` unless overridden)."""
+    return _MODE.get()
+
+
+@contextmanager
+def execution_mode(mode: str):
+    """Run the enclosed block under ``mode``.
+
+    ``"batch"`` is the vectorized production path; ``"perthread"`` is the
+    legacy one-logical-thread-at-a-time reference implementation.
+    """
+    if mode not in EXECUTION_MODES:
+        raise ValueError(f"unknown execution mode {mode!r}; "
+                         f"expected one of {EXECUTION_MODES}")
+    token = _MODE.set(mode)
+    try:
+        yield
+    finally:
+        _MODE.reset(token)

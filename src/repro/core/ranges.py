@@ -1,0 +1,23 @@
+"""Flat range expansion — the workhorse of whole-batch candidate gathers.
+
+Every index in this codebase describes a thread's candidates as row
+*ranges*; the vectorized execution paths flatten many ranges into one
+candidate array in a single pass instead of per-thread ``arange`` +
+``concatenate`` loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["expand_ranges"]
+
+
+def expand_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i]+lens[i])`` vectorized."""
+    total = int(lens.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    out = np.arange(total, dtype=np.int64)
+    shift = np.repeat(np.cumsum(lens) - lens, lens)
+    return out - shift + np.repeat(starts, lens)

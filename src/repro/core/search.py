@@ -35,22 +35,20 @@ decorator::
     class MyEngine(SearchEngine):
         ...
 
-Direct ``ENGINE_REGISTRY[name] = cls`` mutation still works but emits a
-``DeprecationWarning``.
+Enumerate engines with :func:`repro.engines.available` and resolve a
+name with :func:`repro.engines.get_engine`; the historical
+``ENGINE_REGISTRY`` mapping remains importable from here as a read-only
+view that emits a ``DeprecationWarning`` on every read.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from ..engines.base import SearchEngine
 from ..engines.config import EngineConfig
-from ..engines.cpu_rtree import CpuRTreeEngine
-from ..engines.cpu_scan import CpuScanEngine
-from ..engines.gpu_spatial import GpuSpatialEngine
-from ..engines.gpu_spatiotemporal import GpuSpatioTemporalEngine
-from ..engines.gpu_temporal import GpuTemporalEngine
+from ..engines.registry import (ENGINE_REGISTRY, available, get_engine,
+                                register_engine)
 from ..gpu.costmodel import CostBreakdown, CpuCostModel, GpuCostModel
 from ..gpu.device import VirtualGPU
 from ..gpu.profiler import CpuSearchProfile, SearchProfile
@@ -59,70 +57,6 @@ from .types import SegmentArray
 
 __all__ = ["DistanceThresholdSearch", "SearchOutcome", "ENGINE_REGISTRY",
            "register_engine"]
-
-
-class _EngineRegistry(dict):
-    """``{method name: engine class}`` with a deprecation gate.
-
-    The supported way to add an engine is the :func:`register_engine`
-    decorator; writing to the dict directly still works (existing code
-    keeps running) but warns.
-    """
-
-    def __setitem__(self, key: str, value: type[SearchEngine]) -> None:
-        warnings.warn(
-            "direct ENGINE_REGISTRY mutation is deprecated; use the "
-            "@register_engine(name) decorator instead",
-            DeprecationWarning, stacklevel=2)
-        self._register(key, value)
-
-    def __delitem__(self, key: str) -> None:
-        warnings.warn(
-            "direct ENGINE_REGISTRY mutation is deprecated; use the "
-            "@register_engine(name) decorator instead",
-            DeprecationWarning, stacklevel=2)
-        dict.__delitem__(self, key)
-
-    def _register(self, key: str, value: type[SearchEngine]) -> None:
-        dict.__setitem__(self, key, value)
-
-
-#: method name -> engine class; extend via :func:`register_engine`.
-ENGINE_REGISTRY: _EngineRegistry = _EngineRegistry()
-
-
-def register_engine(name: str):
-    """Class decorator registering a :class:`SearchEngine` under ``name``.
-
-    The supported extension point for custom engines::
-
-        @register_engine("my_engine")
-        class MyEngine(SearchEngine):
-            name = "my_engine"
-            def search(self, queries, d, *, exclude_same_trajectory=False):
-                ...
-
-    Returns the class unchanged, so it stacks with other decorators.
-    """
-    if not isinstance(name, str) or not name:
-        raise ValueError("engine name must be a non-empty string")
-
-    def decorator(cls: type[SearchEngine]) -> type[SearchEngine]:
-        if not (isinstance(cls, type) and issubclass(cls, SearchEngine)):
-            raise TypeError(
-                f"@register_engine({name!r}) expects a SearchEngine "
-                f"subclass, got {cls!r}")
-        ENGINE_REGISTRY._register(name, cls)
-        return cls
-
-    return decorator
-
-
-register_engine("gpu_spatial")(GpuSpatialEngine)
-register_engine("gpu_temporal")(GpuTemporalEngine)
-register_engine("gpu_spatiotemporal")(GpuSpatioTemporalEngine)
-register_engine("cpu_rtree")(CpuRTreeEngine)
-register_engine("cpu_scan")(CpuScanEngine)
 
 
 @dataclass(frozen=True)
@@ -169,7 +103,8 @@ class DistanceThresholdSearch:
     database:
         The entry-segment database ``D``.
     method:
-        One of ``ENGINE_REGISTRY``: ``"gpu_spatial"``, ``"gpu_temporal"``,
+        One of :func:`repro.engines.available`: ``"gpu_spatial"``,
+        ``"gpu_temporal"``,
         ``"gpu_spatiotemporal"`` (default — the paper's best overall),
         ``"cpu_rtree"`` or ``"cpu_scan"``.
     config:
@@ -196,15 +131,15 @@ class DistanceThresholdSearch:
                  gpu_model: GpuCostModel | None = None,
                  cpu_model: CpuCostModel | None = None,
                  **engine_params) -> None:
-        if method not in ENGINE_REGISTRY:
+        if method not in available():
             raise ValueError(
                 f"unknown method {method!r}; available: "
-                f"{sorted(ENGINE_REGISTRY)}")
+                f"{sorted(available())}")
         self.method = method
         self.database = database
         self.gpu_model = gpu_model or GpuCostModel()
         self.cpu_model = cpu_model or CpuCostModel()
-        self.engine: SearchEngine = ENGINE_REGISTRY[method].from_config(
+        self.engine: SearchEngine = get_engine(method).from_config(
             database, config, gpu=gpu, **engine_params)
 
     def run(self, queries: SegmentArray, d: float, *,

@@ -188,6 +188,29 @@ class SegmentArray:
 
     # -- derived geometry --------------------------------------------------
 
+    def velocities(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-segment constant velocity ``(vx, vy, vz)``, cached.
+
+        Zero-extent segments are stationary points (velocity 0).  Because
+        instances are immutable, the arrays are computed once per
+        SegmentArray and shared by every kernel invocation that refines
+        against it — part of the structure-of-arrays segment store the
+        whole-batch execution path reads (no per-call ``(n, 3)``
+        temporaries).
+        """
+        cached = getattr(self, "_velocities", None)
+        if cached is None:
+            dt = self.te - self.ts
+            moving = dt > 0
+            cached = tuple(
+                np.divide(e - s, dt, out=np.zeros(len(self)), where=moving)
+                for s, e in ((self.xs, self.xe), (self.ys, self.ye),
+                             (self.zs, self.ze)))
+            for a in cached:
+                a.flags.writeable = False
+            self._velocities = cached
+        return cached
+
     @property
     def starts(self) -> np.ndarray:
         """``(n, 3)`` array of spatial start points."""

@@ -21,7 +21,8 @@ _FIELDS = ("xs", "ys", "zs", "ts", "xe", "ye", "ze", "te",
            "traj_ids", "seg_ids")
 
 
-def save_segments(path: str | Path, segments: SegmentArray) -> Path:
+def save_segments(path: str | os.PathLike,
+                  segments: SegmentArray) -> Path:
     """Write a segment database to ``path`` (npz, compressed).
 
     The write is atomic (tmp file + ``os.replace``): a reader — or a
@@ -45,8 +46,13 @@ def save_segments(path: str | Path, segments: SegmentArray) -> Path:
     return final
 
 
-def load_segments(path: str | Path) -> SegmentArray:
-    """Load a segment database written by :func:`save_segments`."""
+def load_segments(path: str | os.PathLike) -> SegmentArray:
+    """Load a segment database written by :func:`save_segments`.
+
+    Accepts anything path-like, exactly like :func:`save_segments` —
+    a ``save_segments`` return value round-trips unchanged.
+    """
+    path = Path(path)
     with np.load(path) as data:
         missing = [f for f in _FIELDS if f not in data]
         if missing:
@@ -55,7 +61,7 @@ def load_segments(path: str | Path) -> SegmentArray:
         return SegmentArray(*(data[f] for f in _FIELDS))
 
 
-def cached_dataset(path: str | Path, generate) -> SegmentArray:
+def cached_dataset(path: str | os.PathLike, generate) -> SegmentArray:
     """Load ``path`` if present, else call ``generate()`` and cache it.
 
     ``generate`` is a zero-argument callable returning a SegmentArray.

@@ -15,15 +15,19 @@ from .gpu_spatial import GpuSpatialEngine
 from .gpu_spatiotemporal import GpuSpatioTemporalEngine
 from .gpu_temporal import GpuTemporalEngine
 from .hybrid import HybridEngine, HybridProfile
+from .registry import (ENGINE_REGISTRY, available, get_engine,
+                       register_engine)
 
 __all__ = [
     "CONFIG_REGISTRY", "ConfigError", "CpuRTreeConfig", "CpuRTreeEngine",
     "CpuScanConfig", "CpuScanEngine", "Deadline",
-    "DeadlineExceededError", "EngineConfig", "GpuEngineBase",
+    "DeadlineExceededError", "ENGINE_REGISTRY", "EngineConfig",
+    "GpuEngineBase",
     "GpuSpatialConfig", "GpuSpatialEngine", "GpuSpatioTemporalConfig",
     "GpuSpatioTemporalEngine", "GpuTemporalConfig", "GpuTemporalEngine",
     "HybridEngine", "HybridProfile", "KernelInvocationLimitError",
     "NO_RETRY", "RangeBatch", "ResultBufferOverflowError", "RetryPolicy",
-    "SearchEngine", "config_for", "current_deadline", "deadline_scope",
+    "SearchEngine", "available", "config_for", "current_deadline",
+    "deadline_scope", "get_engine", "register_engine",
     "tune_segments_per_mbb",
 ]

@@ -30,7 +30,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.distance import compare_pairs
+from ..core.distance import (PairCoefficients, compare_pairs,
+                             pair_coefficients, solve_intervals)
+from ..core.execmode import current_execution_mode
 from ..core.result import ResultSet
 from ..core.types import SegmentArray
 from ..gpu.atomics import AtomicResultBuffer
@@ -40,7 +42,7 @@ from ..obs.telemetry import current as current_telemetry
 from .config import EngineConfig
 
 __all__ = ["SearchEngine", "GpuEngineBase", "NO_RETRY", "RangeBatch",
-           "RetryPolicy", "ResultBufferOverflowError",
+           "RefineCache", "RetryPolicy", "ResultBufferOverflowError",
            "KernelInvocationLimitError", "Deadline",
            "DeadlineExceededError", "current_deadline", "deadline_scope",
            "refine_ranges", "first_fit_accept", "index_build_phase"]
@@ -286,6 +288,30 @@ class RangeBatch:
         return np.diff(self.cand_start)
 
 
+def _chunk_bounds(lens: np.ndarray) -> np.ndarray:
+    """Thread indices splitting a batch into <= MAX_PAIRS_PER_CHUNK chunks.
+
+    Returns boundaries ``[0, b1, ..., nthreads]``; each chunk takes whole
+    threads and at least one thread, so a single oversized thread forms
+    its own chunk (vectorized replacement of the old per-thread
+    accumulation loop).
+    """
+    nthreads = lens.shape[0]
+    bounds = [0]
+    cum = np.cumsum(lens)
+    t = 0
+    while t < nthreads:
+        # Furthest thread end whose cumulative pair count stays within
+        # budget of the chunk start; always advance at least one thread.
+        base = cum[t - 1] if t else 0
+        t_end = int(np.searchsorted(cum, base + MAX_PAIRS_PER_CHUNK,
+                                    side="right"))
+        t_end = max(t_end, t + 1)
+        bounds.append(t_end)
+        t = t_end
+    return np.asarray(bounds, dtype=np.int64)
+
+
 def refine_ranges(
     queries: SegmentArray,
     database: SegmentArray,
@@ -293,42 +319,62 @@ def refine_ranges(
     d: float,
     *,
     exclude_same_trajectory: bool,
+    coefficients: PairCoefficients | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Refine every (thread, candidate) pair of a batch, chunked.
+    """Refine every (thread, candidate) pair of a batch.
 
     Returns ``(hits_per_thread, q_rows, e_rows, t_lo, t_hi)`` where the
     last four arrays list the surviving pairs in thread order — the order
     in which threads would publish to the result buffer.
+
+    The batch path refines all pairs in a few vectorized passes (chunked
+    at ``MAX_PAIRS_PER_CHUNK`` so peak host memory stays flat).  When
+    ``coefficients`` holds the precomputed ``d``-invariant quadratic
+    coefficients of exactly this batch's pairs (see :class:`RefineCache`)
+    only the per-``d`` root solving runs.  Under the ``"perthread"``
+    execution mode the legacy one-thread-at-a-time reference runs
+    instead (and ``coefficients`` is ignored).
     """
     lens = batch.lengths()
     nthreads = batch.num_threads
+
+    if current_execution_mode() == "perthread":
+        return _refine_ranges_perthread(
+            queries, database, batch, d, lens,
+            exclude_same_trajectory=exclude_same_trajectory)
+
+    if coefficients is not None:
+        res = solve_intervals(coefficients, d)
+        hit_pos = np.flatnonzero(res.mask)
+        local_thread = np.searchsorted(batch.cand_start, hit_pos,
+                                       side="right") - 1
+        hits_per_thread = np.bincount(
+            local_thread, minlength=nthreads).astype(np.int64)
+        return (hits_per_thread, batch.q_rows[local_thread],
+                batch.candidate_rows[hit_pos], res.t_lo[hit_pos],
+                res.t_hi[hit_pos])
+
     hits_per_thread = np.zeros(nthreads, dtype=np.int64)
     out_q, out_e, out_lo, out_hi = [], [], [], []
 
-    t = 0
-    while t < nthreads:
-        # Take threads until the chunk pair budget is reached.
-        t_end = t
-        pairs = 0
-        while t_end < nthreads and (pairs == 0
-                                    or pairs + lens[t_end]
-                                    <= MAX_PAIRS_PER_CHUNK):
-            pairs += lens[t_end]
-            t_end += 1
+    bounds = _chunk_bounds(lens)
+    for t, t_end in zip(bounds[:-1], bounds[1:]):
         span = slice(batch.cand_start[t], batch.cand_start[t_end])
         e_idx = batch.candidate_rows[span]
         q_idx = np.repeat(batch.q_rows[t:t_end], lens[t:t_end])
-        local_thread = np.repeat(np.arange(t, t_end), lens[t:t_end])
         res = compare_pairs(queries, database, q_idx, e_idx, d,
                             exclude_same_trajectory=exclude_same_trajectory)
         if res.num_hits:
-            hit = res.mask
-            np.add.at(hits_per_thread, local_thread[hit], 1)
-            out_q.append(q_idx[hit])
-            out_e.append(e_idx[hit])
-            out_lo.append(res.t_lo[hit])
-            out_hi.append(res.t_hi[hit])
-        t = t_end
+            hit_pos = np.flatnonzero(res.mask)
+            local_thread = t + np.searchsorted(
+                batch.cand_start[t:t_end + 1] - batch.cand_start[t],
+                hit_pos, side="right") - 1
+            hits_per_thread += np.bincount(
+                local_thread, minlength=nthreads)
+            out_q.append(q_idx[hit_pos])
+            out_e.append(e_idx[hit_pos])
+            out_lo.append(res.t_lo[hit_pos])
+            out_hi.append(res.t_hi[hit_pos])
 
     if out_q:
         return (hits_per_thread, np.concatenate(out_q),
@@ -337,6 +383,128 @@ def refine_ranges(
     z = np.zeros(0)
     zi = np.zeros(0, dtype=np.int64)
     return hits_per_thread, zi, zi.copy(), z, z.copy()
+
+
+def _refine_ranges_perthread(
+    queries: SegmentArray,
+    database: SegmentArray,
+    batch: RangeBatch,
+    d: float,
+    lens: np.ndarray,
+    *,
+    exclude_same_trajectory: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Legacy reference: refine one logical thread at a time."""
+    nthreads = batch.num_threads
+    hits_per_thread = np.zeros(nthreads, dtype=np.int64)
+    out_q, out_e, out_lo, out_hi = [], [], [], []
+    for t in range(nthreads):
+        span = slice(batch.cand_start[t], batch.cand_start[t + 1])
+        e_idx = batch.candidate_rows[span]
+        q_idx = np.full(int(lens[t]), batch.q_rows[t], dtype=np.int64)
+        res = compare_pairs(queries, database, q_idx, e_idx, d,
+                            exclude_same_trajectory=exclude_same_trajectory)
+        if res.num_hits:
+            hit = res.mask
+            hits_per_thread[t] = res.num_hits
+            out_q.append(q_idx[hit])
+            out_e.append(e_idx[hit])
+            out_lo.append(res.t_lo[hit])
+            out_hi.append(res.t_hi[hit])
+    if out_q:
+        return (hits_per_thread, np.concatenate(out_q),
+                np.concatenate(out_e), np.concatenate(out_lo),
+                np.concatenate(out_hi))
+    z = np.zeros(0)
+    zi = np.zeros(0, dtype=np.int64)
+    return hits_per_thread, zi, zi.copy(), z, z.copy()
+
+
+class RefineCache:
+    """Per-engine cache of ``d``-invariant refinement coefficients.
+
+    The temporal scheme's candidate schedule does not depend on ``d``
+    (§IV-B): across a ``d``-sweep over one query set, every invocation-0
+    pair and its quadratic coefficients are identical — only the constant
+    term shifts.  The cache keys on the *identity* of the query set (a
+    strong reference is held, so the id cannot be recycled) plus the
+    exclusion flag, and stores the :class:`PairCoefficients` of the full
+    first-invocation batch.  A hit turns refinement into root-solving
+    only; results are bit-identical because the coefficients are the
+    same arrays either way.
+
+    ``max_pairs`` bounds the host memory the cache may pin (~56 bytes
+    per alive pair); oversized batches are simply not cached.
+    """
+
+    def __init__(self, max_pairs: int = 64_000_000) -> None:
+        self.max_pairs = int(max_pairs)
+        self._queries: SegmentArray | None = None
+        self._key: tuple | None = None
+        self._coef: PairCoefficients | None = None
+
+    def lookup(self, queries: SegmentArray,
+               exclude_same_trajectory: bool
+               ) -> PairCoefficients | None:
+        """The cached coefficients for this exact query-set object."""
+        if (self._queries is not None
+                and queries is self._queries
+                and self._key == (len(queries), exclude_same_trajectory)):
+            return self._coef
+        return None
+
+    def coefficients_for(self, queries: SegmentArray,
+                         database: SegmentArray, batch: RangeBatch,
+                         *, exclude_same_trajectory: bool
+                         ) -> PairCoefficients | None:
+        """Fetch-or-compute the coefficients of ``batch``.
+
+        Returns None (and caches nothing) when the batch exceeds
+        ``max_pairs`` or the perthread reference mode is active — callers
+        then fall back to the plain chunked refinement.
+        """
+        if current_execution_mode() != "batch":
+            return None
+        coef = self.lookup(queries, exclude_same_trajectory)
+        if coef is not None:
+            return coef
+        num_pairs = int(batch.cand_start[-1])
+        if num_pairs > self.max_pairs:
+            return None
+        lens = batch.lengths()
+        # Build in MAX_PAIRS_PER_CHUNK chunks (concatenated afterwards):
+        # one giant pass would allocate tens of full-batch temporaries
+        # and stall on page faults.  Elementwise math, so chunk
+        # boundaries never change a single bit of the result.
+        bases: list[int] = []
+        parts: list[PairCoefficients] = []
+        bounds = _chunk_bounds(lens)
+        for t, t_end in zip(bounds[:-1], bounds[1:]):
+            span = slice(batch.cand_start[t], batch.cand_start[t_end])
+            q_idx = np.repeat(batch.q_rows[t:t_end], lens[t:t_end])
+            parts.append(pair_coefficients(
+                queries, database, q_idx, batch.candidate_rows[span],
+                exclude_same_trajectory=exclude_same_trajectory))
+            bases.append(int(batch.cand_start[t]))
+        if parts:
+            coef = PairCoefficients(
+                num_pairs=num_pairs,
+                alive_idx=np.concatenate(
+                    [b + c.alive_idx for b, c in zip(bases, parts)]),
+                t0=np.concatenate([c.t0 for c in parts]),
+                t1=np.concatenate([c.t1 for c in parts]),
+                a=np.concatenate([c.a for c in parts]),
+                b=np.concatenate([c.b for c in parts]),
+                c0=np.concatenate([c.c0 for c in parts]))
+        else:  # pragma: no cover - engines never launch empty batches
+            z = np.zeros(0)
+            coef = PairCoefficients(
+                num_pairs=0, alive_idx=np.zeros(0, dtype=np.int64),
+                t0=z, t1=z.copy(), a=z.copy(), b=z.copy(), c0=z.copy())
+        self._queries = queries
+        self._key = (len(queries), exclude_same_trajectory)
+        self._coef = coef
+        return coef
 
 
 def first_fit_accept(hits_per_thread: np.ndarray,
@@ -381,6 +549,7 @@ class GpuEngineBase(SearchEngine):
         self.result_buffer = AtomicResultBuffer(result_buffer_items)
         self.retry = retry or RetryPolicy()
         self.database = database  # subclass may replace with sorted order
+        self._sort_cache: tuple[SegmentArray, SegmentArray] | None = None
 
     # -- the retried search ----------------------------------------------------------
 
@@ -493,6 +662,22 @@ class GpuEngineBase(SearchEngine):
         if "result_buffer" not in mem:
             mem.alloc("result_buffer",
                       (self.result_buffer.capacity_items, 4))
+
+    def _sorted_queries(self, queries: SegmentArray) -> SegmentArray:
+        """``queries`` sorted by start time, memoized per query-set object.
+
+        Returning the *same* sorted object for repeated searches over one
+        query set lets identity-keyed caches downstream (notably
+        :class:`RefineCache`) recognize the query set across a
+        ``d``-sweep.  The sort itself is deterministic, so memoization
+        never changes results.
+        """
+        cached = self._sort_cache
+        if cached is not None and cached[0] is queries:
+            return cached[1]
+        q_sorted = queries.sorted_by_start_time()
+        self._sort_cache = (queries, q_sorted)
+        return q_sorted
 
     def _upload_queries(self, queries: SegmentArray) -> None:
         """Charge the h2d transfer of the query set (it fits on the GPU by

@@ -30,10 +30,11 @@ import time
 
 import numpy as np
 
+from ..core.execmode import current_execution_mode
 from ..core.geometry import expand, segment_mbbs
 from ..core.result import ResultSet
 from ..core.types import SegmentArray
-from ..gpu.kernel import KernelLauncher
+from ..gpu.kernel import KernelLauncher, LaunchSpec
 from ..gpu.profiler import SearchProfile
 from ..indexes.fsg import FlatGrid
 from .base import (GpuEngineBase, KernelInvocationLimitError,
@@ -41,8 +42,13 @@ from .base import (GpuEngineBase, KernelInvocationLimitError,
                    ResultBufferOverflowError, first_fit_accept,
                    index_build_phase, refine_ranges)
 from .config import GpuSpatialConfig
+from .gpu_temporal import _expand_ranges
 
 __all__ = ["GpuSpatialEngine"]
+
+#: Upper bound on (query, cell) probe pairs rasterized per vectorized
+#: chunk; keeps peak host memory flat independent of box sizes.
+_MAX_PROBES_PER_CHUNK = 1 << 22
 
 
 class GpuSpatialEngine(GpuEngineBase):
@@ -85,7 +91,102 @@ class GpuSpatialEngine(GpuEngineBase):
         Returns ``(batch, overflowed, probe_ops, gather_ops)`` where
         ``overflowed`` flags threads that exceeded ``|U_k|`` (their
         candidate lists are left empty — the thread terminated).
+
+        The batch path exploits the grid's physical layout: ``lookup``
+        ranges of consecutive non-empty cells are contiguous
+        (``cell_end[i] == cell_start[i+1]``), so each z-run of a query's
+        cell box — a contiguous linear-coordinate interval — collapses to
+        two binary searches in ``G`` plus one contiguous ``lookup``
+        slice.  All live queries' runs are enumerated as flat
+        ``(query, ix, iy)`` triples and searched in one vectorized pass;
+        the per-cell op counts (``|cells| * log |G|`` probe charges) are
+        modeled exactly as the reference per-cell gather records them.
         """
+        if current_execution_mode() == "perthread":
+            return self._gather_perthread(q_sorted, live, d)
+
+        slice_cap = self.candidate_buffer_items // max(live.size, 1)
+        boxes = expand(segment_mbbs(q_sorted).take(live), d)
+        log_g = max(1, int(np.ceil(np.log2(max(self.index
+                                               .num_nonempty_cells, 2)))))
+        m = live.size
+        index = self.index
+        ny, nz = index.dims[1], index.dims[2]
+        # bound[i]:bound[i+1] is non-empty cell i's lookup range; the
+        # ranges tile lookup, so a run of cells is one contiguous slice.
+        bound = np.append(index.cell_start, index.lookup.shape[0])
+
+        lo_c, hi_c = FlatGrid._cell_span(boxes.lo, boxes.hi, index.origin,
+                                         index.cell_size, index.dims)
+        spans = hi_c - lo_c + 1                     # (m, 3)
+        probe_ops = np.prod(spans, axis=1) * log_g
+        nruns = spans[:, 0] * spans[:, 1]
+
+        totals = np.zeros(m, dtype=np.int64)
+        row_parts: list[np.ndarray] = []
+        start_parts: list[np.ndarray] = []
+        count_parts: list[np.ndarray] = []
+
+        # Chunk queries so the flat per-run arrays stay small.
+        cum = np.cumsum(nruns)
+        q = 0
+        while q < m:
+            base = cum[q - 1] if q else 0
+            q_end = int(np.searchsorted(cum, base + _MAX_PROBES_PER_CHUNK,
+                                        side="right"))
+            q_end = max(q_end, q + 1)
+
+            nr = nruns[q:q_end]
+            total = int(nr.sum())
+            # Enumerate the k-th (ix, iy) z-run of each query, y-fastest —
+            # ascending linear coordinate, the order
+            # cells_overlapping_box emits cells.
+            run_q = np.repeat(np.arange(q, q_end, dtype=np.int64), nr)
+            offs = np.arange(total, dtype=np.int64) \
+                - np.repeat(np.cumsum(nr) - nr, nr)
+            sy = np.repeat(spans[q:q_end, 1], nr)
+            ix = np.repeat(lo_c[q:q_end, 0], nr) + offs // sy
+            iy = np.repeat(lo_c[q:q_end, 1], nr) + offs % sy
+            h0 = (ix * ny + iy) * nz + np.repeat(lo_c[q:q_end, 2], nr)
+            h1 = h0 + np.repeat(spans[q:q_end, 2], nr)  # exclusive
+            c0 = np.searchsorted(index.cell_ids, h0, side="left")
+            c1 = np.searchsorted(index.cell_ids, h1, side="left")
+            a = bound[c0]
+            counts = bound[c1] - a
+            totals[q:q_end] = np.bincount(
+                run_q - q, weights=counts,
+                minlength=q_end - q).astype(np.int64)
+
+            keep = counts > 0
+            row_parts.append(run_q[keep])
+            start_parts.append(a[keep])
+            count_parts.append(counts[keep])
+            q = q_end
+
+        overflowed = totals > slice_cap
+        gather_ops = np.where(overflowed, slice_cap, totals)
+        lens = np.where(overflowed, 0, totals)
+
+        run_q = np.concatenate(row_parts) if row_parts \
+            else np.zeros(0, dtype=np.int64)
+        keep = ~overflowed[run_q]
+        starts_f = np.concatenate(start_parts)[keep] if start_parts \
+            else np.zeros(0, dtype=np.int64)
+        counts_f = np.concatenate(count_parts)[keep] if count_parts \
+            else np.zeros(0, dtype=np.int64)
+        candidate_rows = index.lookup[_expand_ranges(starts_f, counts_f)]
+
+        cand_start = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(lens, out=cand_start[1:])
+        batch = RangeBatch(q_rows=live, candidate_rows=candidate_rows,
+                           cand_start=cand_start)
+        return batch, overflowed, probe_ops, gather_ops
+
+    def _gather_perthread(self, q_sorted: SegmentArray, live: np.ndarray,
+                          d: float
+                          ) -> tuple[RangeBatch, np.ndarray, np.ndarray,
+                                     np.ndarray]:
+        """Legacy reference: gather one logical thread at a time."""
         slice_cap = self.candidate_buffer_items // max(live.size, 1)
         boxes = expand(segment_mbbs(q_sorted).take(live), d)
         log_g = max(1, int(np.ceil(np.log2(max(self.index
@@ -160,14 +261,14 @@ class GpuSpatialEngine(GpuEngineBase):
             if pending.size == 0:
                 break
             live = pending[:limit]
+            inputs: tuple[tuple[str, int], ...] = ()
             if invocation > 0:
-                self.gpu.transfers.h2d("redo_query_ids", live.size * 8)
+                inputs = (("redo_query_ids", live.size * 8),)
 
-            batch, overflowed, probe_ops, gather_ops = self._gather(
-                q_sorted, live, d)
-            lens = batch.lengths()
-
-            with launcher.launch(self.name, num_threads=live.size) as k:
+            def kernel(k, live=live):
+                batch, overflowed, probe_ops, gather_ops = self._gather(
+                    q_sorted, live, d)
+                lens = batch.lengths()
                 hits, pq, pe, plo, phi = refine_ranges(
                     q_sorted, self.database, batch, d,
                     exclude_same_trajectory=exclude_same_trajectory)
@@ -184,6 +285,12 @@ class GpuSpatialEngine(GpuEngineBase):
                         pq[pair_accept], pe[pair_accept],
                         plo[pair_accept], phi[pair_accept]):
                     raise RuntimeError("internal: accepted batch overflow")
+                return hits, accept, overflowed
+
+            out = launcher.run(
+                LaunchSpec(name=self.name, num_threads=live.size,
+                           inputs=inputs), kernel)
+            hits, accept, overflowed = out.value
 
             qd, ed, lod, hid = self.result_buffer.drain()
             self.gpu.transfers.d2h("result_set", qd.size * 32)

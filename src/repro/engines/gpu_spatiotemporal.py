@@ -22,13 +22,15 @@ import time
 
 import numpy as np
 
+from ..core.distance import PairCoefficients
+from ..core.ranges import expand_ranges
 from ..core.result import ResultSet
 from ..core.types import SegmentArray
-from ..gpu.kernel import KernelLauncher
+from ..gpu.kernel import KernelLauncher, LaunchSpec
 from ..gpu.profiler import SearchProfile
 from ..indexes.spatiotemporal import SpatioTemporalIndex
 from .base import (GpuEngineBase, KernelInvocationLimitError,
-                   MAX_KERNEL_INVOCATIONS, RangeBatch,
+                   MAX_KERNEL_INVOCATIONS, RangeBatch, RefineCache,
                    ResultBufferOverflowError, first_fit_accept,
                    index_build_phase, refine_ranges)
 from .config import GpuSpatioTemporalConfig
@@ -63,6 +65,38 @@ class GpuSpatioTemporalEngine(GpuEngineBase):
             mem.put("st_bins", np.stack(
                 [self.index.temporal.bin_start,
                  self.index.temporal.bin_end]))
+        # Although the schedule is d-dependent (spatial selectivity),
+        # every scheduled pair lies inside the query's d-invariant
+        # temporal-bin row range — so the superset's coefficients are
+        # cacheable across a d-sweep and per-d batches gather from them.
+        self._refine_cache = RefineCache()
+        self._superset: tuple | None = None
+
+    # -- coefficient superset --------------------------------------------------
+
+    def _superset_coefficients(
+            self, q_sorted: SegmentArray, exclude: bool
+    ) -> tuple[PairCoefficients | None, np.ndarray, np.ndarray]:
+        """Cached coefficients of the full temporal-range pair superset,
+        with each query's first database row and pair-position base."""
+        cached = self._superset
+        if (cached is not None and cached[0] is q_sorted
+                and cached[1] == exclude):
+            return cached[2], cached[3], cached[4]
+        row_lo, row_hi = self.index.temporal.candidate_rows(
+            q_sorted.ts, q_sorted.te)
+        lens = np.maximum(row_hi - row_lo + 1, 0)
+        cstart = np.zeros(len(q_sorted) + 1, dtype=np.int64)
+        np.cumsum(lens, out=cstart[1:])
+        batch = RangeBatch(
+            q_rows=np.arange(len(q_sorted), dtype=np.int64),
+            candidate_rows=expand_ranges(row_lo, lens),
+            cand_start=cstart)
+        coef = self._refine_cache.coefficients_for(
+            q_sorted, self.database, batch,
+            exclude_same_trajectory=exclude)
+        self._superset = (q_sorted, exclude, coef, row_lo, cstart)
+        return coef, row_lo, cstart
 
     # -- search ----------------------------------------------------------------
 
@@ -73,7 +107,7 @@ class GpuSpatioTemporalEngine(GpuEngineBase):
         self.gpu.reset_counters()
         launcher = KernelLauncher(self.gpu)
 
-        q_sorted = queries.sorted_by_start_time()
+        q_sorted = self._sorted_queries(queries)
         schedule = self.index.make_schedule(q_sorted, d)
         self._upload_queries(q_sorted)
         self.gpu.transfers.h2d("schedule", schedule.nbytes)
@@ -88,12 +122,15 @@ class GpuSpatioTemporalEngine(GpuEngineBase):
         parts: list[ResultSet] = []
         redo_total = 0
         raw_items = 0
+        coef_full, row_lo_t, cstart_full = self._superset_coefficients(
+            q_sorted, exclude_same_trajectory)
 
         for invocation in range(MAX_KERNEL_INVOCATIONS):
             if live.size == 0:
                 break
+            inputs: tuple[tuple[str, int], ...] = ()
             if invocation > 0:
-                self.gpu.transfers.h2d("redo_query_ids", live.size * 8)
+                inputs = (("redo_query_ids", live.size * 8),)
 
             sel = sel_all[live]
             lens = np.maximum(hi_all[live] - lo_all[live] + 1, 0)
@@ -119,11 +156,17 @@ class GpuSpatioTemporalEngine(GpuEngineBase):
             batch = RangeBatch(q_rows=qrow_all[live],
                                candidate_rows=cand_rows,
                                cand_start=cand_start)
+            coef = None
+            if coef_full is not None:
+                q_rep = np.repeat(qrow_all[live], lens)
+                coef = coef_full.take(
+                    cstart_full[q_rep] + cand_rows - row_lo_t[q_rep])
 
-            with launcher.launch(self.name, num_threads=live.size) as k:
+            def kernel(k, lens=lens, sel=sel, batch=batch, coef=coef):
                 hits, pq, pe, plo, phi = refine_ranges(
                     q_sorted, self.database, batch, d,
-                    exclude_same_trajectory=exclude_same_trajectory)
+                    exclude_same_trajectory=exclude_same_trajectory,
+                    coefficients=coef)
                 k.thread_work[:] = lens
                 # The extra indirection of subbin threads.
                 k.gather_work[:] = np.where(sel >= 0, lens, 0)
@@ -136,6 +179,12 @@ class GpuSpatioTemporalEngine(GpuEngineBase):
                         pq[pair_accept], pe[pair_accept],
                         plo[pair_accept], phi[pair_accept]):
                     raise RuntimeError("internal: accepted batch overflow")
+                return hits, accept
+
+            out = launcher.run(
+                LaunchSpec(name=self.name, num_threads=live.size,
+                           inputs=inputs), kernel)
+            hits, accept = out.value
 
             qd, ed, lod, hid = self.result_buffer.drain()
             self.gpu.transfers.d2h("result_set", qd.size * 32)

@@ -26,13 +26,14 @@ import time
 
 import numpy as np
 
+from ..core.ranges import expand_ranges
 from ..core.result import ResultSet
 from ..core.types import SegmentArray
-from ..gpu.kernel import KernelLauncher
+from ..gpu.kernel import KernelLauncher, LaunchSpec
 from ..gpu.profiler import SearchProfile
 from ..indexes.temporal import TemporalIndex
 from .base import (GpuEngineBase, KernelInvocationLimitError,
-                   MAX_KERNEL_INVOCATIONS, RangeBatch,
+                   MAX_KERNEL_INVOCATIONS, RangeBatch, RefineCache,
                    ResultBufferOverflowError, first_fit_accept,
                    index_build_phase, refine_ranges)
 from .config import GpuTemporalConfig
@@ -61,6 +62,11 @@ class GpuTemporalEngine(GpuEngineBase):
                 [self.index.bin_start, self.index.bin_end,
                  self.index.bin_first.astype(np.float64),
                  self.index.bin_last.astype(np.float64)]))
+        # The schedule is d-invariant (§IV-B), so across a d-sweep over
+        # one query set the invocation-0 batch and its refinement
+        # coefficients are reusable verbatim.
+        self._refine_cache = RefineCache()
+        self._batch_cache: tuple | None = None
 
     # -- schedule -------------------------------------------------------------
 
@@ -77,7 +83,7 @@ class GpuTemporalEngine(GpuEngineBase):
         self.gpu.reset_counters()
         launcher = KernelLauncher(self.gpu)
 
-        q_sorted = queries.sorted_by_start_time()
+        q_sorted = self._sorted_queries(queries)
         row_lo, row_hi = self._make_schedule(q_sorted)
         self._upload_queries(q_sorted)
         self.gpu.transfers.h2d("schedule", len(q_sorted) * 16)
@@ -86,24 +92,55 @@ class GpuTemporalEngine(GpuEngineBase):
         parts: list[ResultSet] = []
         redo_total = 0
         raw_items = 0
+        coef_full = None
+        full_cand_start = None
 
         for invocation in range(MAX_KERNEL_INVOCATIONS):
             if live.size == 0:
                 break
+            inputs: tuple[tuple[str, int], ...] = ()
             if invocation > 0:
-                self.gpu.transfers.h2d("redo_query_ids", live.size * 8)
+                inputs = (("redo_query_ids", live.size * 8),)
 
-            lens = np.maximum(row_hi[live] - row_lo[live] + 1, 0)
-            cand_start = np.zeros(live.size + 1, dtype=np.int64)
-            np.cumsum(lens, out=cand_start[1:])
-            cand_rows = _expand_ranges(row_lo[live], lens)
-            batch = RangeBatch(q_rows=live, candidate_rows=cand_rows,
-                               cand_start=cand_start)
+            # Invocation 0 covers the full (d-invariant) schedule, so
+            # both its batch and its coefficients are cacheable across
+            # a d-sweep; redo invocations handle a subset of those
+            # same pairs, gathered from the cached coefficients.
+            coef = None
+            if invocation == 0:
+                cached = self._batch_cache
+                if cached is not None and cached[0] is q_sorted:
+                    lens, batch = cached[1], cached[2]
+                else:
+                    lens = np.maximum(row_hi - row_lo + 1, 0)
+                    cand_start = np.zeros(live.size + 1, dtype=np.int64)
+                    np.cumsum(lens, out=cand_start[1:])
+                    batch = RangeBatch(
+                        q_rows=live,
+                        candidate_rows=_expand_ranges(row_lo, lens),
+                        cand_start=cand_start)
+                    self._batch_cache = (q_sorted, lens, batch)
+                coef = coef_full = self._refine_cache.coefficients_for(
+                    q_sorted, self.database, batch,
+                    exclude_same_trajectory=exclude_same_trajectory)
+                full_cand_start = batch.cand_start
+            else:
+                lens = np.maximum(row_hi[live] - row_lo[live] + 1, 0)
+                cand_start = np.zeros(live.size + 1, dtype=np.int64)
+                np.cumsum(lens, out=cand_start[1:])
+                batch = RangeBatch(q_rows=live,
+                                   candidate_rows=_expand_ranges(
+                                       row_lo[live], lens),
+                                   cand_start=cand_start)
+                if coef_full is not None:
+                    coef = coef_full.take(expand_ranges(
+                        full_cand_start[live], lens))
 
-            with launcher.launch(self.name, num_threads=live.size) as k:
+            def kernel(k, lens=lens, batch=batch, coef=coef):
                 hits, pq, pe, plo, phi = refine_ranges(
                     q_sorted, self.database, batch, d,
-                    exclude_same_trajectory=exclude_same_trajectory)
+                    exclude_same_trajectory=exclude_same_trajectory,
+                    coefficients=coef)
                 k.thread_work[:] = lens
                 # Every produced result attempts one atomic append.
                 k.add_atomics(int(hits.sum()))
@@ -116,6 +153,12 @@ class GpuTemporalEngine(GpuEngineBase):
                     plo[pair_accept], phi[pair_accept])
                 if not ok:  # pragma: no cover - first_fit sizes the batch
                     raise RuntimeError("internal: accepted batch overflow")
+                return hits, accept
+
+            out = launcher.run(
+                LaunchSpec(name=self.name, num_threads=live.size,
+                           inputs=inputs), kernel)
+            hits, accept = out.value
 
             qd, ed, lod, hid = self.result_buffer.drain()
             self.gpu.transfers.d2h("result_set", qd.size * 32)
@@ -157,11 +200,5 @@ class GpuTemporalEngine(GpuEngineBase):
         return final, profile
 
 
-def _expand_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
-    """Concatenate ``arange(starts[i], starts[i]+lens[i])`` vectorized."""
-    total = int(lens.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    out = np.arange(total, dtype=np.int64)
-    shift = np.repeat(np.cumsum(lens) - lens, lens)
-    return out - shift + np.repeat(starts, lens)
+# Retained alias: sibling engines import the helper from here.
+_expand_ranges = expand_ranges

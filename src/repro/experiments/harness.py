@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.result import ResultSet
-from ..core.search import ENGINE_REGISTRY
+from ..engines.registry import get_engine
 from ..engines.base import GpuEngineBase, SearchEngine
 from ..gpu.costmodel import CpuCostModel, GpuCostModel
 from ..gpu.profiler import CpuSearchProfile, SearchProfile
@@ -72,7 +72,7 @@ class ExperimentRunner:
         """
         config = dict(self.scenario.engine_configs.get(name, {}))
         config.update(overrides)
-        cls = ENGINE_REGISTRY[name]
+        cls = get_engine(name)
         if issubclass(cls, GpuEngineBase):
             config.setdefault("result_buffer_items",
                               self.scenario.result_buffer_items)

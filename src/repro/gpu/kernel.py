@@ -19,14 +19,16 @@ time.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
 from ..obs.telemetry import current as _current_telemetry
 from .device import VirtualGPU
 
-__all__ = ["KernelStats", "KernelLauncher", "warp_work"]
+__all__ = ["KernelStats", "KernelLauncher", "LaunchSpec", "BatchResult",
+           "warp_work"]
 
 
 @dataclass
@@ -108,18 +110,91 @@ def warp_work(thread_work: np.ndarray, warp_size: int) -> int:
     return int(padded.reshape(-1, warp_size).max(axis=1).sum())
 
 
+@dataclass(frozen=True)
+class LaunchSpec:
+    """Declarative description of one kernel invocation.
+
+    Replaces the imperative per-block ``launcher.launch(...)`` context
+    dance: an engine states *what* is launched — grid size, named device
+    inputs to ship, and the fault-hook point — and hands the launcher a
+    kernel callable executed once for the whole batch of logical
+    threads.
+
+    Attributes
+    ----------
+    name:
+        Kernel name; tags the recorded :class:`KernelStats`, the
+        telemetry span and (by default) the fault-injection label.
+    num_threads:
+        Grid size — one logical thread per live query segment (§IV).
+    inputs:
+        ``(label, nbytes)`` pairs charged as host-to-device transfers
+        immediately before the launch (e.g. the redo-query id list).
+        Transfer faults therefore fire *before* the kernel fault hook,
+        exactly like the historical explicit ``transfers.h2d`` calls.
+    fault_point:
+        Fault-injection channel consulted at launch; an injected abort
+        kills the invocation before it runs, an injected stall inflates
+        the recorded per-thread work on completion.
+    """
+
+    name: str
+    num_threads: int
+    inputs: tuple[tuple[str, int], ...] = ()
+    fault_point: str = "kernel"
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 0:
+            raise ValueError("num_threads must be non-negative")
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """What one whole-batch kernel invocation produced.
+
+    ``stats`` is the same object appended to ``gpu.kernel_stats`` (the
+    per-thread op counts the cost model charges); ``value`` is whatever
+    the kernel callable returned to the host.
+    """
+
+    stats: "KernelStats"
+    value: Any = None
+
+    @property
+    def thread_work(self) -> np.ndarray:
+        return self.stats.thread_work
+
+    @property
+    def gather_work(self) -> np.ndarray:
+        return self.stats.gather_work
+
+    @property
+    def atomic_ops(self) -> int:
+        return self.stats.atomic_ops
+
+
 class KernelLauncher:
     """Creates kernel invocations against a :class:`VirtualGPU`.
 
-    Usage (inside an engine)::
+    Whole-batch usage (the production path)::
 
         launcher = KernelLauncher(gpu)
-        with launcher.launch("gpu_temporal", num_threads=len(Q)) as k:
-            ...execute per-thread work, then...
+
+        def kernel(k):                    # runs once for all threads
+            ...vectorized passes over every live thread...
             k.thread_work[:] = comparisons_per_thread
             k.add_atomics(results_appended)
+            return host_visible_outputs
 
-    On context exit the stats are validated and appended to
+        out = launcher.run(LaunchSpec(name="gpu_temporal",
+                                      num_threads=len(Q)), kernel)
+        out.value          # what `kernel` returned
+        out.thread_work    # per-thread op counts, post stall inflation
+
+    The legacy context-manager form (``with launcher.launch(...) as k:``)
+    is kept as a thin compatibility shim over the same machinery.
+
+    Either way the stats are validated on completion and appended to
     ``gpu.kernel_stats``; the cost model later charges one
     ``kernel_launch_s`` per entry plus the modeled execution time.
     """
@@ -127,20 +202,39 @@ class KernelLauncher:
     def __init__(self, gpu: VirtualGPU) -> None:
         self.gpu = gpu
 
+    def run(self, spec: LaunchSpec,
+            kernel: Callable[["_LaunchContext"], Any]) -> BatchResult:
+        """Execute ``kernel`` once for the whole batch described by
+        ``spec``; returns the recorded stats plus the kernel's return
+        value.  Failed launches (fault aborts, kernel errors) propagate
+        and record nothing, as before."""
+        for label, nbytes in spec.inputs:
+            self.gpu.transfers.h2d(label, nbytes)
+        ctx = _LaunchContext(self.gpu, spec.name, spec.num_threads,
+                             fault_point=spec.fault_point)
+        with ctx:
+            value = kernel(ctx)
+        return BatchResult(stats=ctx.stats, value=value)
+
     def launch(self, name: str, num_threads: int) -> "_LaunchContext":
+        """Compatibility shim: the pre-:class:`LaunchSpec` imperative
+        form.  Equivalent to ``run`` with no declared inputs."""
         if num_threads < 0:
             raise ValueError("num_threads must be non-negative")
         return _LaunchContext(self.gpu, name, num_threads)
 
 
 class _LaunchContext:
-    def __init__(self, gpu: VirtualGPU, name: str, num_threads: int) -> None:
+    def __init__(self, gpu: VirtualGPU, name: str, num_threads: int,
+                 fault_point: str = "kernel") -> None:
         self.gpu = gpu
         self.name = name
         self.num_threads = num_threads
+        self.fault_point = fault_point
         self.thread_work = np.zeros(num_threads, dtype=np.int64)
         self.gather_work = np.zeros(num_threads, dtype=np.int64)
         self._atomics = 0
+        self.stats: KernelStats | None = None
 
     def add_atomics(self, n: int) -> None:
         if n < 0:
@@ -155,7 +249,7 @@ class _LaunchContext:
         self._stall = 1.0
         if self.gpu.faults is not None:
             self._stall = self.gpu.faults.check(
-                "kernel", lane=self.gpu.lane, label=self.name)
+                self.fault_point, lane=self.gpu.lane, label=self.name)
         self._wall0 = time.perf_counter()
         return self
 
@@ -173,6 +267,7 @@ class _LaunchContext:
             gather_work=self.gather_work,
             atomic_ops=self._atomics,
         )
+        self.stats = stats
         self.gpu.kernel_stats.append(stats)
         # One span per invocation under the engine's search span (a
         # no-op when no telemetry is active).

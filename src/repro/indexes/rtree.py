@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.geometry import MBB, segment_mbbs
+from ..core.ranges import expand_ranges
 from ..core.types import SegmentArray
 
 __all__ = ["RTree", "RTreeNode"]
@@ -280,6 +281,77 @@ class RTree:
         merged = [np.concatenate(c) if c else np.zeros(0, dtype=np.int64)
                   for c in candidates]
         return merged, node_visits
+
+    def query_candidates_flat(
+        self, queries: SegmentArray, d: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Whole-batch variant of :meth:`query_candidates`.
+
+        Same descent, but leaf hits are emitted as flat
+        ``(query, leaf-range)`` triples and expanded into one candidate
+        array in a single vectorized pass — no per-query Python lists.
+        Returns ``(candidate_rows, cand_start, node_visits)`` where query
+        ``k``'s candidates are
+        ``candidate_rows[cand_start[k]:cand_start[k+1]]``, in exactly the
+        order :meth:`query_candidates` lists them (leaf visits in DFS
+        order, leaf children in slot order).
+        """
+        nq = len(queries)
+        qboxes = segment_mbbs(queries, temporal=self.temporal_axis)
+        q_lo = qboxes.lo.copy()
+        q_hi = qboxes.hi.copy()
+        q_lo[:, :3] -= d
+        q_hi[:, :3] += d
+
+        node_visits = np.zeros(nq, dtype=np.int64)
+        hit_q: list[np.ndarray] = []
+        hit_lo: list[np.ndarray] = []
+        hit_len: list[np.ndarray] = []
+
+        def descend(node: RTreeNode, q_idx: np.ndarray) -> None:
+            node_visits[q_idx] += 1
+            ov = np.all(
+                (q_lo[q_idx][:, None, :] <= node.child_hi[None, :, :])
+                & (node.child_lo[None, :, :] <= q_hi[q_idx][:, None, :]),
+                axis=2)
+            if node.is_leaf:
+                assert node.ranges is not None
+                # nonzero on the transpose walks hits child-major — the
+                # per-leaf emission order of the reference descent.
+                col, row = np.nonzero(ov.T)
+                if col.size:
+                    hit_q.append(q_idx[row])
+                    hit_lo.append(node.ranges[col, 0])
+                    hit_len.append(node.ranges[col, 1]
+                                   - node.ranges[col, 0] + 1)
+            else:
+                for col, child in enumerate(node.children):
+                    sub = q_idx[ov[:, col]]
+                    if sub.size:
+                        descend(child, sub)
+
+        if nq:
+            descend(self.root, np.arange(nq, dtype=np.int64))
+
+        if hit_q:
+            q_all = np.concatenate(hit_q)
+            lo_all = np.concatenate(hit_lo)
+            len_all = np.concatenate(hit_len)
+            # Stable sort groups each query's leaf ranges while keeping
+            # them in DFS emission order.
+            order = np.argsort(q_all, kind="stable")
+            q_all = q_all[order]
+            lo_all = lo_all[order]
+            len_all = len_all[order]
+            lens = np.bincount(q_all, weights=len_all,
+                               minlength=nq).astype(np.int64)
+            candidate_rows = expand_ranges(lo_all, len_all)
+        else:
+            lens = np.zeros(nq, dtype=np.int64)
+            candidate_rows = np.zeros(0, dtype=np.int64)
+        cand_start = np.zeros(nq + 1, dtype=np.int64)
+        np.cumsum(lens, out=cand_start[1:])
+        return candidate_rows, cand_start, node_visits
 
     # -- reporting ------------------------------------------------------------------
 

@@ -34,7 +34,8 @@ class SearchRequest:
     d:
         Distance threshold.
     method:
-        An ``ENGINE_REGISTRY`` name, or ``"auto"`` (default) to let the
+        A :func:`repro.engines.available` name, or ``"auto"`` (default)
+        to let the
         service pick via the cost-based planner.
     params:
         Engine tuning knobs.  With an explicit ``method`` they are

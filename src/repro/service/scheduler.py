@@ -60,13 +60,14 @@ from dataclasses import dataclass, field
 
 from ..core.planner import plan_search
 from ..core.result import ResultSet
-from ..core.search import ENGINE_REGISTRY, SearchOutcome
+from ..core.search import SearchOutcome
 from ..core.types import SegmentArray
 from ..distributed.partition import partition_database
 from ..durability import DurabilityManager, DurabilityPolicy
 from ..engines.base import (Deadline, DeadlineExceededError, GpuEngineBase,
                             RetryPolicy, deadline_scope)
 from ..engines.config import ConfigError
+from ..engines.registry import available, get_engine
 from ..engines.cpu_scan import CpuScanEngine
 from ..gpu.costmodel import CostBreakdown, CpuCostModel, GpuCostModel
 from ..gpu.device import DeviceSpec, TESLA_C2075, VirtualGPU
@@ -679,7 +680,7 @@ class QueryService:
         snapshot = self.versioned.snapshot()
         reg = self.telemetry.metrics
         for recipe in result.engines:
-            if recipe.method not in ENGINE_REGISTRY:
+            if recipe.method not in available():
                 continue
             source = "artifact"
             try:
@@ -719,7 +720,7 @@ class QueryService:
         engine = checkpoint.load_engine_artifact(recipe)
         if engine is None:
             return False
-        cls_ = ENGINE_REGISTRY[recipe.method]
+        cls_ = get_engine(recipe.method)
         params = dict(recipe.params)
         if cls_.config_type is not None:
             canon = canonical_params(
@@ -944,12 +945,13 @@ class QueryService:
         ``cpu_scan``; ``cpu_scan`` has no rung below it.
         """
         ladder = [method]
-        cls = ENGINE_REGISTRY.get(method)
+        cls = (get_engine(method)
+               if method in available() else None)
         if cls is not None and issubclass(cls, GpuEngineBase):
             ladder += [m for m in self.GPU_LADDER
-                       if m != method and m in ENGINE_REGISTRY]
+                       if m != method and m in available()]
         ladder += [m for m in self.CPU_LADDER
-                   if m not in ladder and m in ENGINE_REGISTRY]
+                   if m not in ladder and m in available()]
         return ladder
 
     def _shed_check(self, request: SearchRequest, arrival: float,
@@ -1030,10 +1032,10 @@ class QueryService:
                         snapshot: Snapshot) -> tuple[str, dict]:
         """Turn ``request.method`` into a concrete engine + parameters."""
         if request.method != "auto":
-            if request.method not in ENGINE_REGISTRY:
+            if request.method not in available():
                 raise ValueError(
                     f"unknown method {request.method!r}; available: "
-                    f"{sorted(ENGINE_REGISTRY)} or 'auto'")
+                    f"{sorted(available())} or 'auto'")
             return request.method, dict(request.params)
         hints = {k: v for k, v in request.params.items()
                  if k in _PLANNER_HINTS}
@@ -1057,7 +1059,7 @@ class QueryService:
         params = dict(best.params)
         # Overlay the caller's hints the chosen engine understands
         # (e.g. a result_buffer_items override).
-        cfg_type = ENGINE_REGISTRY[best.engine].config_type
+        cfg_type = get_engine(best.engine).config_type
         if cfg_type is not None:
             valid = cfg_type.valid_keys()
             params.update({k: v for k, v in request.params.items()
@@ -1112,7 +1114,7 @@ class QueryService:
     def _engine_entry(self, database: SegmentArray, method: str,
                       params: dict, db_key, metrics: RequestMetrics
                       ) -> tuple[CacheEntry, bool]:
-        cls = ENGINE_REGISTRY[method]
+        cls = get_engine(method)
         if cls.config_type is not None:
             cfg = cls.config_type.from_params(**params)
             key = (db_key, method, canonical_params(cfg.to_dict()))

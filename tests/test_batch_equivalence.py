@@ -1,0 +1,118 @@
+"""Per-thread op-count equivalence: batch vs perthread execution.
+
+The whole-batch vectorized execution path must be *observationally
+indistinguishable* from the legacy one-logical-thread-at-a-time
+reference: byte-identical result sets, and — for the GPU engines —
+identical per-invocation :class:`~repro.gpu.kernel.KernelStats`
+(``thread_work`` per thread, ``gather_work`` per thread, ``atomic_ops``
+per grid), because the cost model, profiler, traces, and the chaos and
+differential crosschecks are all computed from those counts.
+
+Databases and query sets come from the differential harness's seeded
+adversarial generator (zero-length segments, exact duplicates, one-bin
+bursts, out-of-extent queries), which is where vectorization bugs hide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.execmode import execution_mode
+from tests.test_differential import (ENGINE_FACTORIES, _byte_identical,
+                                     _make_db, _make_queries)
+
+SEEDS = [0, 1, 2]
+D_VALUES = [0.0, 0.7, 2.5]
+
+
+def _run(engine_name, seed, d, mode, *, exclude=False):
+    """Build a fresh engine and run one search under ``mode``.
+
+    Returns ``(result, profile, kernel_stats)`` — ``kernel_stats`` is
+    the per-invocation list for GPU engines, ``None`` for CPU engines.
+    """
+    db = _make_db(seed)
+    queries = _make_queries(seed, db)
+    with execution_mode(mode):
+        engine = ENGINE_FACTORIES[engine_name](db)
+        result, profile = engine.search(
+            queries, d, exclude_same_trajectory=exclude)
+        stats = list(getattr(engine, "gpu", None).kernel_stats) \
+            if hasattr(engine, "gpu") else None
+    return result, profile, stats
+
+
+def _assert_profiles_equal(a, b):
+    da, db_ = a.to_dict(), b.to_dict()
+    da.pop("wall_seconds"), db_.pop("wall_seconds")
+    assert da == db_
+
+
+def _assert_stats_equal(batch, perthread):
+    assert len(batch) == len(perthread), "invocation counts differ"
+    for i, (sb, sp) in enumerate(zip(batch, perthread)):
+        assert sb.name == sp.name, f"invocation {i}: kernel name"
+        assert sb.num_threads == sp.num_threads, \
+            f"invocation {i}: grid size"
+        assert np.array_equal(sb.thread_work, sp.thread_work), \
+            f"invocation {i}: thread_work"
+        assert np.array_equal(sb.gather_work, sp.gather_work), \
+            f"invocation {i}: gather_work"
+        assert sb.atomic_ops == sp.atomic_ops, \
+            f"invocation {i}: atomic_ops"
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINE_FACTORIES))
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("d", D_VALUES)
+def test_batch_equals_perthread(engine_name, seed, d):
+    rb, pb, sb = _run(engine_name, seed, d, "batch")
+    rp, pp, sp = _run(engine_name, seed, d, "perthread")
+    assert _byte_identical(rb, rp)
+    _assert_profiles_equal(pb, pp)
+    if sb is not None:
+        _assert_stats_equal(sb, sp)
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINE_FACTORIES))
+def test_batch_equals_perthread_self_join_exclusion(engine_name):
+    """The exclude-same-trajectory flag flows through both paths."""
+    rb, pb, sb = _run(engine_name, 3, 1.2, "batch", exclude=True)
+    rp, pp, sp = _run(engine_name, 3, 1.2, "perthread", exclude=True)
+    assert _byte_identical(rb, rp)
+    _assert_profiles_equal(pb, pp)
+    if sb is not None:
+        _assert_stats_equal(sb, sp)
+
+
+@pytest.mark.parametrize("engine_name",
+                         ["gpu_temporal", "gpu_spatiotemporal"])
+def test_redo_invocations_equivalent(engine_name):
+    """Force result-buffer pressure so the redo (re-invocation) path of
+    the batch execution is exercised against the reference."""
+    from repro.engines import (GpuSpatioTemporalEngine, GpuTemporalEngine,
+                               NO_RETRY)
+
+    def build(db):
+        if engine_name == "gpu_temporal":
+            return GpuTemporalEngine(db, num_bins=24,
+                                     result_buffer_items=32,
+                                     retry=NO_RETRY)
+        return GpuSpatioTemporalEngine(db, num_bins=24, num_subbins=2,
+                                       strict_subbins=False,
+                                       result_buffer_items=32,
+                                       retry=NO_RETRY)
+
+    db = _make_db(1)
+    queries = _make_queries(1, db)
+    runs = {}
+    for mode in ("batch", "perthread"):
+        with execution_mode(mode):
+            engine = build(db)
+            result, profile = engine.search(queries, 8.0)
+            runs[mode] = (result, profile,
+                          list(engine.gpu.kernel_stats))
+    assert runs["batch"][1].num_kernel_invocations > 1, \
+        "workload failed to overflow the result buffer"
+    assert _byte_identical(runs["batch"][0], runs["perthread"][0])
+    _assert_profiles_equal(runs["batch"][1], runs["perthread"][1])
+    _assert_stats_equal(runs["batch"][2], runs["perthread"][2])

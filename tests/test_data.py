@@ -140,6 +140,25 @@ class TestIO:
         loaded = load_segments(path)
         assert loaded == small_db
 
+    def test_roundtrip_pathlike(self, small_db, tmp_path):
+        """Both directions accept os.PathLike, not just str — a
+        save_segments return value (a Path) loads directly."""
+        import os
+
+        class _PathLike:
+            def __init__(self, p):
+                self._p = p
+
+            def __fspath__(self):
+                return str(self._p)
+
+        final = save_segments(_PathLike(tmp_path / "db"), small_db)
+        assert isinstance(final, os.PathLike)
+        assert final.name == "db.npz"
+        assert load_segments(final) == small_db
+        assert load_segments(_PathLike(final)) == small_db
+        assert load_segments(str(final)) == small_db
+
     def test_load_rejects_foreign_npz(self, tmp_path):
         path = tmp_path / "junk.npz"
         np.savez(path, a=np.zeros(3))

@@ -51,10 +51,13 @@ def test_readme_documented_entry_points_exist():
 
 
 def test_engine_registry_complete():
-    from repro.core.search import ENGINE_REGISTRY
-    assert set(ENGINE_REGISTRY) == {
-        "gpu_spatial", "gpu_temporal", "gpu_spatiotemporal",
-        "cpu_rtree", "cpu_scan"}
+    from repro.engines import available, get_engine
+    assert available() == ("cpu_rtree", "cpu_scan", "gpu_spatial",
+                           "gpu_spatiotemporal", "gpu_temporal")
+    for name in available():
+        assert get_engine(name).name == name
+    with pytest.raises(KeyError, match="unknown engine"):
+        get_engine("quantum")
 
 
 def test_service_layer_entry_points_exist():
@@ -75,43 +78,42 @@ def test_service_layer_entry_points_exist():
     assert GpuTemporalConfig and CpuRTreeConfig
 
 
-def test_direct_registry_mutation_warns():
-    """Writing ENGINE_REGISTRY[name] = cls still works but is
-    deprecated in favour of @register_engine."""
-    import warnings
-
+def test_registry_view_deprecated():
+    """ENGINE_REGISTRY survives as a read-only view: reads warn,
+    writes raise."""
     from repro.core.search import ENGINE_REGISTRY
     from repro.engines import CpuScanEngine
 
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
+    with pytest.warns(DeprecationWarning):
+        assert ENGINE_REGISTRY["cpu_scan"] is CpuScanEngine
+    with pytest.warns(DeprecationWarning):
+        assert "cpu_scan" in ENGINE_REGISTRY
+    with pytest.warns(DeprecationWarning):
+        assert set(ENGINE_REGISTRY) == {
+            "gpu_spatial", "gpu_temporal", "gpu_spatiotemporal",
+            "cpu_rtree", "cpu_scan"}
+    with pytest.raises(TypeError):
         ENGINE_REGISTRY["_legacy_test_engine"] = CpuScanEngine
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-    assert ENGINE_REGISTRY["_legacy_test_engine"] is CpuScanEngine
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        del ENGINE_REGISTRY["_legacy_test_engine"]
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-    assert "_legacy_test_engine" not in ENGINE_REGISTRY
+    with pytest.raises(TypeError):
+        del ENGINE_REGISTRY["cpu_scan"]
 
 
 def test_register_engine_decorator():
     """@register_engine is the supported extension point."""
     import pytest
 
-    from repro.core.search import ENGINE_REGISTRY, register_engine
-    from repro.engines import CpuScanEngine
+    from repro.core.search import register_engine
+    from repro.engines import CpuScanEngine, get_engine
+    from repro.engines.registry import _REGISTRY
 
     @register_engine("_decorated_test_engine")
     class _Custom(CpuScanEngine):
         """Test double."""
 
     try:
-        assert ENGINE_REGISTRY["_decorated_test_engine"] is _Custom
+        assert get_engine("_decorated_test_engine") is _Custom
     finally:
-        dict.__delitem__(ENGINE_REGISTRY, "_decorated_test_engine")
+        del _REGISTRY["_decorated_test_engine"]
     with pytest.raises(TypeError):
         register_engine("_bad")(object)
     with pytest.raises(ValueError):

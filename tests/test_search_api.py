@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.bruteforce import brute_force_search
-from repro.core.search import (DistanceThresholdSearch, ENGINE_REGISTRY,
-                               SearchOutcome)
+from repro.core.search import DistanceThresholdSearch, SearchOutcome
+from repro.engines import available
 
 
 class TestFacade:
@@ -12,7 +12,7 @@ class TestFacade:
         with pytest.raises(ValueError, match="unknown method"):
             DistanceThresholdSearch(small_db, method="quantum")
 
-    @pytest.mark.parametrize("method", sorted(ENGINE_REGISTRY))
+    @pytest.mark.parametrize("method", available())
     def test_all_methods_exact(self, method, db_queries_truth):
         db, queries, d, truth = db_queries_truth
         params = {}

@@ -21,7 +21,13 @@ report     assemble results/ artifacts into results/REPORT.md
 calibrate  re-fit and verify the cost-model constants
 chaos      run a seeded fault-injection campaign against the query
            service and print the survival report (ingests fresh
-           trajectories mid-campaign so compaction runs under faults)
+           trajectories mid-campaign so compaction runs under faults;
+           --shards N switches to the shard-kill campaign against a
+           sharded, replicated service)
+shard      serve query batches through a sharded, replicated service
+           (scatter-gather merges checked against a whole-database
+           referee; --kill-shard demonstrates partial answers and
+           --recover the crash-recovery rejoin)
 ingest     replay a dataset as a live ingestion stream: part of the
            trajectories seed the base index, the rest arrive in rounds
            interleaved with query batches (delta overlay + compaction)
@@ -39,6 +45,10 @@ python -m repro trace merger.npz --d 1.5 --num-devices 2 \\
     --out trace.json --spans spans.json --events events.jsonl
 python -m repro figures fig5 --scale 0.01
 python -m repro chaos --seed 7 --requests 200 --rate 0.15
+python -m repro chaos --seed 7 --requests 120 --shards 3 \\
+    --kill-shard-every 11
+python -m repro shard merger.npz --d 1.5 --shards 3 --replicas 2 \\
+    --kill-shard 1 --recover
 python -m repro ingest merger.npz --d 1.5 --rounds 6 \\
     --arrivals-per-round 2 --max-delta 256
 """
@@ -183,6 +193,56 @@ def build_parser() -> argparse.ArgumentParser:
                         "process crash on the Nth mutation at each "
                         "WAL kill point (0 = ordinary fault-injection "
                         "campaign)")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="shard-chaos mode: run the shard-kill campaign "
+                        "against a sharded service with N shards "
+                        "(0 = ordinary fault-injection campaign)")
+    p.add_argument("--kill-shard-every", type=int, default=11,
+                   metavar="K",
+                   help="in shard-chaos mode, fire one shard fault "
+                        "(replica kill or whole-shard blackout) every "
+                        "Kth request (default 11)")
+    p.add_argument("--shard-strategy", default="round_robin",
+                   choices=["round_robin", "temporal", "spatial"],
+                   help="partition strategy for shard-chaos mode "
+                        "(default round_robin)")
+
+    p = sub.add_parser(
+        "shard", help="serve query batches through a sharded, "
+                      "replicated service with scatter-gather merges")
+    p.add_argument("database", help=".npz produced by 'generate'")
+    p.add_argument("--d", type=float, required=True,
+                   help="query distance threshold")
+    p.add_argument("--shards", type=int, default=3,
+                   help="number of shards (default 3)")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="replicas per shard (default 2)")
+    p.add_argument("--strategy", default="round_robin",
+                   choices=["round_robin", "temporal", "spatial"],
+                   help="partition strategy (default round_robin)")
+    p.add_argument("--batches", type=int, default=6,
+                   help="query batches to serve (default 6)")
+    p.add_argument("--method", default="auto",
+                   choices=list(available()) + ["auto"],
+                   help="engine, or 'auto' for planner-driven "
+                        "selection")
+    p.add_argument("--query-trajectories", type=int, default=4,
+                   help="trajectories sampled as the repeated query "
+                        "batch (default 4)")
+    p.add_argument("--kill-shard", type=int, default=None, metavar="S",
+                   help="black out shard S halfway through the "
+                        "batches (demonstrates partial answers)")
+    p.add_argument("--recover", action="store_true",
+                   help="crash-recover the blacked-out shard after "
+                        "the batches and verify exactness returns")
+    p.add_argument("--durable-dir", default=None, metavar="DIR",
+                   help="root for per-replica WAL + checkpoints "
+                        "(shard-<i>/replica-<r>); default: in-memory "
+                        "replicas")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the run summary as JSON instead of the "
+                        "rendered report")
 
     p = sub.add_parser(
         "ingest", help="replay a dataset as a live ingestion stream "
@@ -655,6 +715,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return 0 if report.ok else 1
 
     telemetry = Telemetry() if args.events else None
+    if args.shards:
+        from .faults import ShardCampaignConfig, run_shard_campaign
+        cfg = ShardCampaignConfig(seed=args.seed,
+                                  num_requests=args.requests,
+                                  num_shards=args.shards,
+                                  kill_every=args.kill_shard_every,
+                                  strategy=args.shard_strategy)
+        report = run_shard_campaign(cfg, telemetry=telemetry)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        if args.events:
+            telemetry.events.write_jsonl(args.events)
+            print(f"event log written to {args.events} "
+                  f"({len(telemetry.events)} events)")
+        return 0 if report.ok else 1
+
     cfg = CampaignConfig(seed=args.seed, num_requests=args.requests,
                          injection_rate=args.rate,
                          num_devices=args.num_devices,
@@ -670,6 +748,83 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"event log written to {args.events} "
               f"({len(telemetry.events)} events)")
     return 0 if report.ok else 1
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    import json
+
+    from .engines.cpu_scan import CpuScanEngine
+    from .faults.crashes import _result_bytes
+    from .service import SearchRequest
+    from .sharding import ShardedService
+
+    database = load_segments(args.database)
+    queries = queries_from_database(
+        database, args.query_trajectories,
+        rng=np.random.default_rng(args.seed))
+    truth = _result_bytes(
+        CpuScanEngine(database).search(queries, args.d)[0])
+    kill_at = (args.batches // 2
+               if args.kill_shard is not None else None)
+    summary: dict = {
+        "layout": None, "statuses": {}, "exact": 0,
+        "partial": 0, "killed": 0, "recovered": 0,
+        "final_exact": None,
+    }
+    with ShardedService(database, num_shards=args.shards,
+                        replicas_per_shard=args.replicas,
+                        strategy=args.strategy,
+                        durability_root=args.durable_dir) as svc:
+        summary["layout"] = svc.plan.describe()
+        for i in range(args.batches):
+            if kill_at is not None and i == kill_at:
+                summary["killed"] = svc.blackout_shard(
+                    args.kill_shard)
+            resp = svc.submit(SearchRequest(
+                queries=queries, d=args.d, method=args.method,
+                request_id=f"b{i:03d}"))
+            summary["statuses"][resp.status] = \
+                summary["statuses"].get(resp.status, 0) + 1
+            if resp.status == "ok":
+                if _result_bytes(resp.outcome.results) == truth:
+                    summary["exact"] += 1
+            elif resp.status == "partial":
+                summary["partial"] += 1
+        if args.recover and args.kill_shard is not None:
+            shard = svc.shards[args.kill_shard]
+            for replica in shard.replicas:
+                if not replica.live:
+                    svc.recover_replica(args.kill_shard,
+                                        replica.index)
+                    summary["recovered"] += 1
+            resp = svc.submit(SearchRequest(
+                queries=queries, d=args.d, method=args.method,
+                request_id="final"))
+            summary["final_exact"] = bool(
+                resp.ok
+                and _result_bytes(resp.outcome.results) == truth)
+        summary["stats"] = svc.stats()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        lay = summary["layout"]
+        print(f"sharded service: {lay['num_shards']} shards "
+              f"x {args.replicas} replicas ({lay['strategy']})")
+        print(f"  segments per shard  {lay['shard_segments']}")
+        print(f"  batches served      {summary['statuses']}")
+        print(f"  exact full answers  {summary['exact']}")
+        if args.kill_shard is not None:
+            print(f"  shard {args.kill_shard} blacked out: "
+                  f"{summary['killed']} replicas killed, "
+                  f"{summary['partial']} partial answers")
+        if summary["final_exact"] is not None:
+            state = "exact" if summary["final_exact"] else "WRONG"
+            print(f"  recovered {summary['recovered']} replicas; "
+                  f"post-recovery answer {state}")
+    ok_answers = summary["statuses"].get("ok", 0)
+    failed = summary["exact"] != ok_answers or \
+        summary["final_exact"] is False
+    return 1 if failed else 0
 
 
 def cmd_ingest(args: argparse.Namespace) -> int:
@@ -858,6 +1013,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": cmd_figures,
         "calibrate": cmd_calibrate,
         "chaos": cmd_chaos,
+        "shard": cmd_shard,
         "ingest": cmd_ingest,
         "checkpoint": cmd_checkpoint,
         "recover": cmd_recover,

@@ -2,11 +2,14 @@
 (the deployment §III motivates), and an MPI-style SPMD driver."""
 
 from .cluster import ClusterProfile, GpuCluster
-from .comm import Communicator, LoopbackComm, Mpi4pyComm, world
+from .comm import (Communicator, LoopbackComm, Mpi4pyComm,
+                   MpiUnavailableError, world)
 from .driver import SpmdSearchDriver, run_spmd_search
-from .partition import PARTITION_STRATEGIES, partition_database
+from .partition import (PARTITION_STRATEGIES, partition_database,
+                        partition_indices)
 
 __all__ = ["ClusterProfile", "Communicator", "GpuCluster",
-           "LoopbackComm", "Mpi4pyComm", "PARTITION_STRATEGIES",
-           "SpmdSearchDriver", "partition_database", "run_spmd_search",
-           "world"]
+           "LoopbackComm", "Mpi4pyComm", "MpiUnavailableError",
+           "PARTITION_STRATEGIES", "SpmdSearchDriver",
+           "partition_database", "partition_indices",
+           "run_spmd_search", "world"]

@@ -17,7 +17,27 @@ from __future__ import annotations
 
 from typing import Any, Protocol, runtime_checkable
 
-__all__ = ["Communicator", "LoopbackComm", "Mpi4pyComm", "world"]
+__all__ = ["Communicator", "LoopbackComm", "Mpi4pyComm",
+           "MpiUnavailableError", "world"]
+
+
+class MpiUnavailableError(ImportError):
+    """mpi4py is not importable in this environment.
+
+    Raised lazily — at :class:`Mpi4pyComm` *construction*, never at
+    module import — so ``repro.distributed`` always imports cleanly on
+    machines without an MPI stack.  Subclasses :class:`ImportError` so
+    ``except ImportError`` fallbacks (see :func:`world`) keep working.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "mpi4py is not installed, so Mpi4pyComm cannot drive a "
+            "real MPI world.  Fixes: (a) use LoopbackComm (the "
+            "in-process default returned by repro.distributed.world()) "
+            "— tests and single-node runs need nothing else; or "
+            "(b) install an MPI stack plus mpi4py and launch under "
+            "'mpiexec -n <nodes> python <script>'.")
 
 
 @runtime_checkable
@@ -99,11 +119,9 @@ class Mpi4pyComm:
         if comm is None:
             try:
                 from mpi4py import MPI
-            except ImportError as exc:  # pragma: no cover - no MPI here
-                raise ImportError(
-                    "mpi4py is not installed; use LoopbackComm or "
-                    "install mpi4py to run under mpiexec") from exc
-            comm = MPI.COMM_WORLD
+            except ImportError as exc:
+                raise MpiUnavailableError() from exc
+            comm = MPI.COMM_WORLD  # pragma: no cover - no MPI here
         self._comm = comm
 
     @property

@@ -31,7 +31,8 @@ import numpy as np
 
 from ..core.types import SegmentArray
 
-__all__ = ["partition_database", "PARTITION_STRATEGIES"]
+__all__ = ["partition_database", "partition_indices",
+           "PARTITION_STRATEGIES"]
 
 
 def _round_robin(database: SegmentArray, num_nodes: int) -> list[np.ndarray]:
@@ -64,10 +65,12 @@ PARTITION_STRATEGIES = {
 }
 
 
-def partition_database(database: SegmentArray, num_nodes: int,
-                       strategy: str = "round_robin"
-                       ) -> list[SegmentArray]:
-    """Split ``database`` into ``num_nodes`` disjoint, covering shards."""
+def partition_indices(database: SegmentArray, num_nodes: int,
+                      strategy: str = "round_robin"
+                      ) -> list[np.ndarray]:
+    """Row indices of each shard: ``num_nodes`` disjoint, covering
+    index arrays (the raw form of :func:`partition_database`, used by
+    the sharded router to keep a row→shard ownership map)."""
     if num_nodes <= 0:
         raise ValueError("num_nodes must be positive")
     if strategy not in PARTITION_STRATEGIES:
@@ -79,4 +82,12 @@ def partition_database(database: SegmentArray, num_nodes: int,
     total = sum(ix.shape[0] for ix in idx_lists)
     if total != len(database):
         raise AssertionError("partition lost or duplicated segments")
-    return [database.take(ix) for ix in idx_lists]
+    return idx_lists
+
+
+def partition_database(database: SegmentArray, num_nodes: int,
+                       strategy: str = "round_robin"
+                       ) -> list[SegmentArray]:
+    """Split ``database`` into ``num_nodes`` disjoint, covering shards."""
+    return [database.take(ix) for ix in
+            partition_indices(database, num_nodes, strategy)]

@@ -205,13 +205,18 @@ class DurabilityManager:
         return self.checkpoint(database, warm_engines=warm_engines)
 
     def log_append(self, database: VersionedDatabase,
-                   segments: SegmentArray) -> None:
+                   segments: SegmentArray, *,
+                   keep_seg_ids: bool = False) -> None:
         """WAL one append *before* it is applied.  The payload is the
         caller's (pre-stamping) segments: replay re-runs
         :meth:`~repro.ingest.VersionedDatabase.append`, which assigns
-        the identical seg_ids because ``next_seg_id`` is restored."""
-        self._log("append", database.epoch + 1,
-                  {"segments": segments.to_dict()})
+        the identical seg_ids because ``next_seg_id`` is restored.
+        ``keep_seg_ids`` appends (router-stamped global ids) persist the
+        flag so replay preserves the caller's ids the same way."""
+        payload = {"segments": segments.to_dict()}
+        if keep_seg_ids:
+            payload["keep_seg_ids"] = True
+        self._log("append", database.epoch + 1, payload)
 
     def log_delete(self, database: VersionedDatabase,
                    traj_id: int) -> None:
@@ -351,8 +356,10 @@ class DurabilityManager:
                     f"epoch {record.epoch} but the database is at "
                     f"epoch {db.epoch} — the log has a gap")
             if record.op == "append":
-                db.append(SegmentArray.from_dict(
-                    record.payload["segments"]))
+                db.append(
+                    SegmentArray.from_dict(record.payload["segments"]),
+                    keep_seg_ids=bool(
+                        record.payload.get("keep_seg_ids", False)))
             elif record.op == "delete":
                 db.delete_trajectory(record.payload["traj_id"])
             else:

@@ -7,7 +7,10 @@ injected at exact, replayable operations.  :mod:`repro.faults.campaign`
 drives a fault-injected :class:`~repro.service.QueryService` through a
 seeded request storm and verifies that every response is either correct
 or a typed rejection — the survival report behind the ``chaos`` CLI
-subcommand and the CI chaos job.
+subcommand and the CI chaos job.  :mod:`repro.faults.shards` lifts the
+same discipline to the sharded serving layer: seeded shard kills and
+blackouts against a :class:`~repro.sharding.ShardedService`, with
+mid-storm crash recovery and a byte-identity referee.
 """
 
 from .campaign import CampaignConfig, CampaignReport, run_campaign
@@ -16,6 +19,8 @@ from .crashes import (CrashCampaignConfig, CrashCampaignReport,
 from .injector import (FAULT_KINDS, FaultInjector, FaultSpec,
                        InjectedFault, KernelAbortError,
                        LaneBlackoutError, TransferFault)
+from .shards import (SHARD_FAULT_KINDS, ShardCampaignConfig,
+                     ShardCampaignReport, run_shard_campaign)
 
 __all__ = [
     "CampaignConfig",
@@ -29,7 +34,11 @@ __all__ = [
     "InjectedFault",
     "KernelAbortError",
     "LaneBlackoutError",
+    "SHARD_FAULT_KINDS",
+    "ShardCampaignConfig",
+    "ShardCampaignReport",
     "TransferFault",
     "run_campaign",
     "run_crash_campaign",
+    "run_shard_campaign",
 ]

@@ -1,0 +1,399 @@
+"""Seeded shard-chaos campaigns: kill shards under a request storm.
+
+The shard-level sibling of :mod:`repro.faults.campaign`: a
+:class:`~repro.sharding.ShardedService` (N shards, a replica pair per
+shard, per-replica WAL + checkpoints) is driven through a deterministic
+request storm while a seeded fault plan kills replicas and blacks out
+whole shards mid-storm, and a recovery schedule crash-recovers them a
+few requests later via ``QueryService.recover()`` + op-log catch-up.
+
+Two shard fault kinds (:data:`SHARD_FAULT_KINDS`):
+
+* ``shard_kill`` — one replica of a seeded-random shard dies (process
+  death: the service object is abandoned, its WAL left as a crash
+  would leave it).  The shard keeps answering through the surviving
+  replica; answers must stay *byte-identical* to the whole-database
+  ``cpu_scan`` referee.
+* ``shard_blackout`` — every replica of a shard dies.  Requests must
+  answer ``status="partial"`` (never silently shrink an "ok" answer),
+  and the partial outcome must be byte-identical to the referee
+  *restricted to the surviving shards' rows*.
+
+Every mutation the router applies (ingest / delete, with router-stamped
+global seg_ids) is mirrored into a plain whole-database
+:class:`~repro.ingest.VersionedDatabase` — the referee.  Because the
+router stamps ids exactly the way the referee's own append would, the
+two id spaces agree and result equality can be checked at the byte
+level (:func:`repro.faults.crashes._result_bytes`).
+
+The report's ``ok`` gate is what CI asserts: every request accounted,
+zero inexact answers, both fault kinds fired, at least one mid-storm
+recovery, and every ``partial`` answer legitimate (issued only while a
+shard had zero live replicas).
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.result import ResultSet
+from ..engines.cpu_scan import CpuScanEngine
+from ..ingest import CompactionPolicy, VersionedDatabase
+from ..obs import Telemetry
+from ..service import SearchRequest
+from ..sharding import ShardedService
+from .campaign import _walk_db
+from .crashes import _result_bytes
+
+__all__ = ["SHARD_FAULT_KINDS", "ShardCampaignConfig",
+           "ShardCampaignReport", "run_shard_campaign"]
+
+#: shard-level fault kinds the plan cycles through.
+SHARD_FAULT_KINDS = ("shard_kill", "shard_blackout")
+
+
+@dataclass(frozen=True)
+class ShardCampaignConfig:
+    """Knobs of one shard-chaos campaign; all derive from ``seed``."""
+
+    seed: int = 0
+    num_requests: int = 120
+    num_shards: int = 3
+    replicas_per_shard: int = 2
+    strategy: str = "round_robin"
+    #: database size: trajectories x timesteps of random walk.
+    num_trajectories: int = 18
+    steps: int = 10
+    num_query_sets: int = 6
+    queries_per_set: int = 3
+    d: float = 2.5
+    methods: tuple[str, ...] = ("gpu_temporal", "cpu_rtree", "auto",
+                                "cpu_scan", "gpu_spatial")
+    #: every Nth request fires one shard fault (0 = storm without
+    #: faults); which shard dies is seeded-random.
+    kill_every: int = 11
+    #: every Nth fault is a whole-shard blackout instead of a single
+    #: replica kill.
+    blackout_every: int = 3
+    #: requests after its death at which a killed replica is
+    #: crash-recovered (mid-storm rejoin).
+    recover_after: int = 7
+    #: every Nth request ingests one fresh trajectory (0 = never).
+    ingest_every: int = 9
+    ingest_steps: int = 6
+    #: every Nth request deletes one (eligible) trajectory (0 = never).
+    delete_every: int = 31
+    #: per-shard compaction trigger, small so shards compact mid-storm.
+    compaction_max_delta: int = 48
+    #: run replicas durably (WAL + checkpoints in a temp dir) so
+    #: recovery goes through ``QueryService.recover()``; False
+    #: exercises the pristine-base + full-op-log rejoin path instead.
+    durable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.replicas_per_shard < 1:
+            raise ValueError("replicas_per_shard must be >= 1")
+        if self.blackout_every < 1:
+            raise ValueError("blackout_every must be >= 1")
+        if self.recover_after < 1:
+            raise ValueError("recover_after must be >= 1")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "seed": self.seed, "num_requests": self.num_requests,
+            "num_shards": self.num_shards,
+            "replicas_per_shard": self.replicas_per_shard,
+            "strategy": self.strategy,
+            "num_trajectories": self.num_trajectories,
+            "steps": self.steps,
+            "num_query_sets": self.num_query_sets,
+            "queries_per_set": self.queries_per_set, "d": self.d,
+            "methods": list(self.methods),
+            "kill_every": self.kill_every,
+            "blackout_every": self.blackout_every,
+            "recover_after": self.recover_after,
+            "ingest_every": self.ingest_every,
+            "ingest_steps": self.ingest_steps,
+            "delete_every": self.delete_every,
+            "compaction_max_delta": self.compaction_max_delta,
+            "durable": self.durable,
+        }
+
+
+@dataclass
+class ShardCampaignReport:
+    """Survival report of one shard-chaos campaign."""
+
+    config: dict
+    #: responses by status (ok / partial / overloaded / ...).
+    outcomes: dict = field(default_factory=dict)
+    #: full (ok) answers byte-identical to the whole-database referee.
+    verified: int = 0
+    #: partial answers byte-identical to the surviving-shard referee.
+    partial_verified: int = 0
+    #: request ids whose answer disagreed with the referee.
+    mismatches: list = field(default_factory=list)
+    #: partial answers issued while every missing shard still had a
+    #: live replica (must stay empty: partial strictly means *down*).
+    illegitimate_partials: list = field(default_factory=list)
+    #: shard faults fired, by kind.
+    fired_by_kind: dict = field(default_factory=dict)
+    #: replicas crash-recovered and rejoined mid-storm.
+    recoveries: int = 0
+    #: True when the post-storm full-coverage request (every replica
+    #: recovered) was byte-identical to the referee.
+    final_exact: bool = False
+    router: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.outcomes.values())
+
+    @property
+    def answered(self) -> int:
+        return self.outcomes.get("ok", 0)
+
+    @property
+    def partials(self) -> int:
+        return self.outcomes.get("partial", 0)
+
+    @property
+    def all_kinds_fired(self) -> bool:
+        return all(self.fired_by_kind.get(k, 0) > 0
+                   for k in SHARD_FAULT_KINDS)
+
+    @property
+    def ok(self) -> bool:
+        """Did the sharded service survive: every request accounted,
+        zero inexact answers (full or partial), both shard fault kinds
+        fired, at least one mid-storm recovery, every partial
+        legitimate, and the post-storm rejoined service exact."""
+        return (not self.mismatches
+                and not self.illegitimate_partials
+                and self.verified == self.answered
+                and self.partial_verified == self.partials
+                and self.total == self.config["num_requests"]
+                and self.all_kinds_fired
+                and self.recoveries >= 1
+                and self.final_exact)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "config": self.config, "outcomes": dict(self.outcomes),
+            "verified": self.verified,
+            "partial_verified": self.partial_verified,
+            "mismatches": list(self.mismatches),
+            "illegitimate_partials": list(self.illegitimate_partials),
+            "fired_by_kind": dict(self.fired_by_kind),
+            "recoveries": self.recoveries,
+            "final_exact": self.final_exact,
+            "router": self.router, "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        """Human-readable survival report."""
+        lines = [
+            "shard-chaos campaign report",
+            f"  seed                {self.config['seed']}",
+            f"  shards              {self.config['num_shards']} x "
+            f"{self.config['replicas_per_shard']} replicas "
+            f"({self.config['strategy']})",
+            f"  requests            {self.total}",
+        ]
+        for status in ("ok", "partial", "overloaded",
+                       "deadline_exceeded"):
+            lines.append(f"    {status:<18}"
+                         f"{self.outcomes.get(status, 0)}")
+        lines += [
+            f"  verified exact      {self.verified}/{self.answered} "
+            f"full, {self.partial_verified}/{self.partials} partial",
+            f"  mismatches          {len(self.mismatches)}",
+        ]
+        for kind in SHARD_FAULT_KINDS:
+            lines.append(f"    {kind:<18}"
+                         f"{self.fired_by_kind.get(kind, 0)}")
+        lines += [
+            f"  recoveries          {self.recoveries}",
+            f"  final exact         "
+            f"{'yes' if self.final_exact else 'NO'}",
+            f"  survived            {'yes' if self.ok else 'NO'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_shard_campaign(config: ShardCampaignConfig | None = None, *,
+                       telemetry: Telemetry | None = None,
+                       durability_root=None) -> ShardCampaignReport:
+    """Run one seeded shard-chaos campaign; returns its report.
+
+    ``durability_root`` overrides where the per-replica durable state
+    lives (default: a temporary directory when ``config.durable``).
+    """
+    cfg = config or ShardCampaignConfig()
+    with tempfile.TemporaryDirectory() as tmp:
+        root = durability_root or (tmp if cfg.durable else None)
+        return _run(cfg, root, telemetry)
+
+
+def _run(cfg: ShardCampaignConfig, durability_root,
+         telemetry: Telemetry | None) -> ShardCampaignReport:
+    database = _walk_db(cfg.num_trajectories, cfg.steps, seed=cfg.seed)
+    query_sets = [
+        _walk_db(cfg.queries_per_set, cfg.steps,
+                 seed=cfg.seed + 1000 + i, id_offset=10_000 + 100 * i)
+        for i in range(cfg.num_query_sets)
+    ]
+    compaction = CompactionPolicy(
+        max_delta_segments=cfg.compaction_max_delta)
+    svc = ShardedService(
+        database, num_shards=cfg.num_shards,
+        replicas_per_shard=cfg.replicas_per_shard,
+        strategy=cfg.strategy, durability_root=durability_root,
+        telemetry=telemetry,
+        service_kwargs={"compaction": compaction})
+    #: the whole-database referee, mutated in lockstep with the router
+    #: (its own seg_id counter assigns exactly the ids the router
+    #: stamps, so comparisons are byte-exact).
+    referee = VersionedDatabase(database, policy=compaction)
+
+    truths: dict[tuple, tuple] = {}
+
+    def truth_bytes(qi: int, missing: tuple[int, ...] = ()) -> tuple:
+        """Canonical result bytes of the referee for one query set,
+        optionally restricted to the shards *not* in ``missing``."""
+        key = (referee.epoch, qi, missing)
+        if key not in truths:
+            logical = referee.snapshot().logical()
+            if missing:
+                surviving = [svc.plan.seg_ids_of(s.index)
+                             for s in svc.shards
+                             if s.replicas and s.index not in missing]
+                live_ids = (np.concatenate(surviving) if surviving
+                            else np.zeros(0, dtype=np.int64))
+                keep = np.isin(logical.seg_ids, live_ids)
+                logical = logical.take(np.flatnonzero(keep))
+            if len(logical) == 0:
+                truths[key] = _result_bytes(ResultSet())
+            else:
+                results = CpuScanEngine(logical).search(
+                    query_sets[qi], cfg.d)[0]
+                truths[key] = _result_bytes(results)
+        return truths[key]
+
+    report = ShardCampaignReport(config=cfg.to_dict())
+    rng = random.Random(f"{cfg.seed}:shard-faults")
+    #: (due_request, shard, replica) recovery schedule.
+    pending_recoveries: list[tuple[int, int, int]] = []
+    faults_fired = 0
+
+    def fire_fault(i: int) -> None:
+        nonlocal faults_fired
+        candidates = [s.index for s in svc.shards if s.replicas]
+        shard = rng.choice(candidates)
+        blackout = (faults_fired % cfg.blackout_every
+                    == cfg.blackout_every - 1)
+        faults_fired += 1
+        if blackout:
+            victims = [r.index for r in
+                       svc.shards[shard].live_replicas()]
+            if svc.blackout_shard(shard):
+                report.fired_by_kind["shard_blackout"] = \
+                    report.fired_by_kind.get("shard_blackout", 0) + 1
+                for k, r in enumerate(victims):
+                    pending_recoveries.append(
+                        (i + cfg.recover_after + k, shard, r))
+        else:
+            victim = svc.kill_replica(shard)
+            if victim is not None:
+                report.fired_by_kind["shard_kill"] = \
+                    report.fired_by_kind.get("shard_kill", 0) + 1
+                pending_recoveries.append(
+                    (i + cfg.recover_after, shard, victim.index))
+
+    def run_recoveries(i: int) -> None:
+        due = [p for p in pending_recoveries if p[0] <= i]
+        for item in due:
+            pending_recoveries.remove(item)
+            _, shard, rep = item
+            if svc.shards[shard].replicas[rep].live:
+                continue  # re-killed and re-scheduled; later entry wins
+            svc.recover_replica(shard, rep)
+            report.recoveries += 1
+
+    def eligible_delete() -> int | None:
+        """A live trajectory whose delete empties no shard."""
+        live = sorted(tid for tid in svc.plan._traj_shards
+                      if tid not in svc._tombstones
+                      and tid < 10_000  # never delete query ids
+                      and not svc.plan.would_empty(tid))
+        return rng.choice(live) if live else None
+
+    def verify(i: int, resp) -> None:
+        rid = f"q{i:04d}"
+        report.outcomes[resp.status] = \
+            report.outcomes.get(resp.status, 0) + 1
+        if resp.status == "ok":
+            if _result_bytes(resp.outcome.results) == truth_bytes(
+                    i % len(query_sets)):
+                report.verified += 1
+            else:
+                report.mismatches.append(rid)
+        elif resp.status == "partial":
+            live = svc.live_map()
+            bad = [s for s in resp.missing_shards if live.get(s)]
+            if bad:
+                report.illegitimate_partials.append(rid)
+            if _result_bytes(resp.outcome.results) == truth_bytes(
+                    i % len(query_sets), resp.missing_shards):
+                report.partial_verified += 1
+            else:
+                report.mismatches.append(rid)
+
+    for i in range(cfg.num_requests):
+        run_recoveries(i)
+        if cfg.kill_every and i and i % cfg.kill_every == 0:
+            fire_fault(i)
+        if cfg.ingest_every and i and i % cfg.ingest_every == 0:
+            fresh = _walk_db(1, cfg.ingest_steps,
+                             seed=cfg.seed + 5000 + i,
+                             id_offset=50_000 + i)
+            svc.ingest(fresh)
+            referee.append(fresh)
+        if cfg.delete_every and i and i % cfg.delete_every == 0:
+            tid = eligible_delete()
+            if tid is not None:
+                svc.delete_trajectory(tid)
+                referee.delete_trajectory(tid)
+        qi = i % len(query_sets)
+        resp = svc.submit(SearchRequest(
+            queries=query_sets[qi], d=cfg.d,
+            method=cfg.methods[i % len(cfg.methods)],
+            request_id=f"q{i:04d}"))
+        verify(i, resp)
+
+    # Post-storm: every dead replica rejoins (the "killed shard
+    # rejoins via recover() within the same campaign" gate), then one
+    # full-coverage request must be exact again.
+    for shard in svc.shards:
+        for replica in shard.replicas:
+            if not replica.live:
+                svc.recover_replica(shard.index, replica.index)
+                report.recoveries += 1
+    final = svc.submit(SearchRequest(
+        queries=query_sets[0], d=cfg.d, method="cpu_scan",
+        request_id="final"))
+    report.final_exact = (final.ok and _result_bytes(
+        final.outcome.results) == truth_bytes(0))
+    report.router = svc.stats()
+    svc.shutdown()
+    return report

@@ -400,7 +400,8 @@ class VersionedDatabase:
     # must be able to reject an invalid mutation without logging it
     # (a logged-but-unappliable record would poison every replay).
 
-    def check_append(self, segments: SegmentArray) -> None:
+    def check_append(self, segments: SegmentArray, *,
+                     keep_seg_ids: bool = False) -> None:
         """Raise :class:`IngestError` iff :meth:`append` would."""
         if len(segments) == 0:
             raise IngestError("nothing to append: the segment set is "
@@ -412,6 +413,16 @@ class VersionedDatabase:
             raise IngestError(
                 f"trajectory ids {sorted(dead)} are tombstoned; "
                 f"compact before re-using a deleted id")
+        if keep_seg_ids:
+            ids = segments.seg_ids
+            if len(np.unique(ids)) != len(ids):
+                raise IngestError("keep_seg_ids append carries "
+                                  "duplicate seg_ids")
+            if int(ids.min()) < self._next_seg_id:
+                raise IngestError(
+                    f"keep_seg_ids append would collide: seg_id "
+                    f"{int(ids.min())} < next_seg_id "
+                    f"{self._next_seg_id}")
 
     def check_delete(self, traj_id: int) -> bool:
         """Raise iff :meth:`delete_trajectory` would; returns whether
@@ -435,27 +446,37 @@ class VersionedDatabase:
     # -- mutations ---------------------------------------------------------------
 
     def append(self, segments: SegmentArray | Trajectory |
-               list[Trajectory]) -> IngestReceipt:
+               list[Trajectory], *,
+               keep_seg_ids: bool = False) -> IngestReceipt:
         """Append new segments to the delta log.
 
         Accepts a :class:`Trajectory`, a list of them, or a raw
         :class:`SegmentArray`.  Fresh database-wide ``seg_ids`` are
         assigned (the caller's ids, if any, are ignored — entry ids are
-        owned by the database).  Appending to a tombstoned trajectory id
-        is rejected: the tombstone hides *all* segments of that id, so
-        the append would be silently invisible; re-use the id after a
-        compaction has physically dropped the old rows.
+        owned by the database).  With ``keep_seg_ids=True`` the caller's
+        ids are trusted instead: the sharded router stamps *globally*
+        unique ids before routing rows to the owning shard, so every
+        shard-local database stays byte-compatible with the
+        whole-database referee.  Kept ids must be fresh (>= the next
+        unassigned id) and duplicate-free.  Appending to a tombstoned
+        trajectory id is rejected: the tombstone hides *all* segments of
+        that id, so the append would be silently invisible; re-use the
+        id after a compaction has physically dropped the old rows.
         """
         segments = as_segments(segments)
-        self.check_append(segments)
+        self.check_append(segments, keep_seg_ids=keep_seg_ids)
         n = len(segments)
-        seg_ids = np.arange(self._next_seg_id,
-                            self._next_seg_id + n, dtype=np.int64)
+        if keep_seg_ids:
+            seg_ids = segments.seg_ids.astype(np.int64, copy=False)
+        else:
+            seg_ids = np.arange(self._next_seg_id,
+                                self._next_seg_id + n, dtype=np.int64)
         stamped = SegmentArray(
             segments.xs, segments.ys, segments.zs, segments.ts,
             segments.xe, segments.ye, segments.ze, segments.te,
             segments.traj_ids, seg_ids)
-        self._next_seg_id += n
+        self._next_seg_id = max(self._next_seg_id,
+                                int(seg_ids.max()) + 1)
         self._delta_parts.append(stamped)
         self._delta_rows += n
         self._bump(delta=True)

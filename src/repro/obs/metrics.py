@@ -213,6 +213,50 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._instruments)
 
+    # -- aggregation --------------------------------------------------------------
+
+    def merge_from(self, other: "MetricsRegistry",
+                   **extra_labels) -> None:
+        """Fold another registry's series into this one, adding
+        ``extra_labels`` to every series.
+
+        The sharded router uses this to aggregate its per-replica
+        service registries into one view where every series carries
+        ``shard=``/``replica=`` labels.  Counters and histogram series
+        accumulate; gauges overwrite (last write wins — aggregate
+        repeatedly in a stable order).
+        """
+        if not self.enabled:
+            return
+        extra = _label_key(extra_labels)
+        for name, inst in other._instruments.items():
+            if isinstance(inst, Histogram):
+                mine = self.histogram(name, inst.help,
+                                      buckets=inst.buckets)
+                for key, ser in inst.series.items():
+                    merged_key = tuple(sorted((*key, *extra)))
+                    dst = mine.series.get(merged_key)
+                    if dst is None:
+                        mine.series[merged_key] = {
+                            "counts": list(ser["counts"]),
+                            "sum": ser["sum"], "count": ser["count"]}
+                    else:
+                        dst["counts"] = [a + b for a, b in
+                                         zip(dst["counts"],
+                                             ser["counts"])]
+                        dst["sum"] += ser["sum"]
+                        dst["count"] += ser["count"]
+            elif isinstance(inst, Counter):
+                mine = self.counter(name, inst.help)
+                for key, value in inst.values.items():
+                    merged_key = tuple(sorted((*key, *extra)))
+                    mine.values[merged_key] = \
+                        mine.values.get(merged_key, 0.0) + value
+            else:
+                mine = self.gauge(name, inst.help)
+                for key, value in inst.values.items():
+                    mine.values[tuple(sorted((*key, *extra)))] = value
+
     # -- exposition --------------------------------------------------------------
 
     def to_prometheus_text(self) -> str:

@@ -117,8 +117,10 @@ class SearchRequest:
 
 
 #: response statuses: ``ok`` carries an outcome (possibly via a
-#: degraded engine); the others are typed rejections with no outcome.
-RESPONSE_STATUSES = ("ok", "overloaded", "deadline_exceeded")
+#: degraded engine); ``partial`` carries an outcome covering only the
+#: shards that survived (``missing_shards`` names the holes); the
+#: others are typed rejections with no outcome.
+RESPONSE_STATUSES = ("ok", "overloaded", "deadline_exceeded", "partial")
 
 
 @dataclass
@@ -128,10 +130,14 @@ class SearchResponse:
     ``status == "ok"`` responses carry a full
     :class:`~repro.core.search.SearchOutcome` (check
     ``metrics.degraded`` for whether a fallback engine produced it).
-    Typed rejections — ``"overloaded"`` from queue-pressure load
-    shedding, ``"deadline_exceeded"`` from an exhausted request budget —
-    carry ``outcome=None`` plus a human-readable ``reason``, so a
-    client can tell "no answer, retry later" from "empty answer".
+    ``status == "partial"`` responses come from the sharded router when
+    every replica of one or more shards is down: the outcome is exact
+    over the surviving shards and ``missing_shards`` names the shard
+    indices whose rows are absent from it.  Typed rejections —
+    ``"overloaded"`` from queue-pressure load shedding,
+    ``"deadline_exceeded"`` from an exhausted request budget — carry
+    ``outcome=None`` plus a human-readable ``reason``, so a client can
+    tell "no answer, retry later" from "empty answer".
     """
 
     request_id: str
@@ -139,18 +145,30 @@ class SearchResponse:
     metrics: RequestMetrics
     status: str = "ok"
     reason: str = ""
+    #: shard indices missing from a ``partial`` outcome (empty otherwise).
+    missing_shards: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.status not in RESPONSE_STATUSES:
             raise ValueError(f"unknown status {self.status!r}; expected "
                              f"one of {RESPONSE_STATUSES}")
-        if (self.outcome is None) != (self.status != "ok"):
-            raise ValueError("ok responses need an outcome; rejected "
-                             "responses must not carry one")
+        carries_outcome = self.status in ("ok", "partial")
+        if (self.outcome is None) == carries_outcome:
+            raise ValueError("ok/partial responses need an outcome; "
+                             "rejected responses must not carry one")
+        self.missing_shards = tuple(int(s) for s in self.missing_shards)
+        if bool(self.missing_shards) != (self.status == "partial"):
+            raise ValueError("missing_shards is set iff the status is "
+                             "'partial'")
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def partial(self) -> bool:
+        """True when the outcome covers only the surviving shards."""
+        return self.status == "partial"
 
     def to_dict(self) -> dict:
         """JSON-friendly representation."""
@@ -161,6 +179,7 @@ class SearchResponse:
             "outcome": (self.outcome.to_dict()
                         if self.outcome is not None else None),
             "metrics": self.metrics.to_dict(),
+            "missing_shards": list(self.missing_shards),
         }
 
     @classmethod
@@ -175,4 +194,5 @@ class SearchResponse:
             metrics=RequestMetrics.from_dict(payload["metrics"]),
             status=payload.get("status", "ok"),
             reason=payload.get("reason", ""),
+            missing_shards=tuple(payload.get("missing_shards", ())),
         )

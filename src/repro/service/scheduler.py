@@ -433,7 +433,8 @@ class QueryService:
 
     # -- ingestion ---------------------------------------------------------------
 
-    def ingest(self, segments) -> IngestReceipt:
+    def ingest(self, segments, *,
+               keep_seg_ids: bool = False) -> IngestReceipt:
         """Append trajectory segments without rebuilding the base index.
 
         Accepts whatever :meth:`~repro.ingest.VersionedDatabase.append`
@@ -441,19 +442,24 @@ class QueryService:
         them, or a raw :class:`~repro.core.types.SegmentArray`).  The
         rows land in the delta; queries see them immediately through
         the delta-overlay scan while every warm base engine stays
-        cached.  When the append pushes the delta over the compaction
-        policy and ``auto_compact`` is on, compaction runs before
-        returning (off the query hot path — no request is in flight
-        between batches).
+        cached.  ``keep_seg_ids=True`` preserves caller-stamped segment
+        ids (the sharded router's global stamping — see
+        :meth:`~repro.ingest.VersionedDatabase.append`).  When the
+        append pushes the delta over the compaction policy and
+        ``auto_compact`` is on, compaction runs before returning (off
+        the query hot path — no request is in flight between batches).
         """
         with self.telemetry.activate(), \
                 self.telemetry.span("service.ingest") as span:
             segments = as_segments(segments)
             if self.durability is not None:
                 # WAL discipline: validate, log + sync, then apply.
-                self.versioned.check_append(segments)
-                self.durability.log_append(self.versioned, segments)
-            receipt = self.versioned.append(segments)
+                self.versioned.check_append(segments,
+                                            keep_seg_ids=keep_seg_ids)
+                self.durability.log_append(self.versioned, segments,
+                                           keep_seg_ids=keep_seg_ids)
+            receipt = self.versioned.append(segments,
+                                            keep_seg_ids=keep_seg_ids)
             span.set_attributes(epoch=receipt.epoch,
                                 segments=receipt.num_segments)
             reg = self.telemetry.metrics

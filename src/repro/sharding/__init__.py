@@ -1,0 +1,8 @@
+"""Sharded serving: scatter-gather routing over replicated per-shard
+query services, with failover, op-log catch-up, and exact merges."""
+
+from .plan import ShardMap
+from .router import MergeInvariantError, Replica, Shard, ShardedService
+
+__all__ = ["MergeInvariantError", "Replica", "Shard", "ShardMap",
+           "ShardedService"]

@@ -107,3 +107,49 @@ class TestFigures:
         assert main(["figures", "fig4", "--scale", "0.004"]) == 0
         out = capsys.readouterr().out
         assert "fig4" in out and "cpu_rtree" in out
+
+
+class TestShardCommand:
+    def test_shard_serves_batches(self, db_path, capsys):
+        assert main(["shard", db_path, "--d", "2.0", "--shards", "3",
+                     "--batches", "2", "--method", "cpu_scan"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded service: 3 shards" in out
+        assert "exact full answers  2" in out
+
+    def test_shard_kill_and_recover(self, db_path, tmp_path, capsys):
+        assert main(["shard", db_path, "--d", "2.0", "--shards", "3",
+                     "--batches", "4", "--method", "cpu_scan",
+                     "--kill-shard", "1", "--recover",
+                     "--durable-dir", str(tmp_path / "dur")]) == 0
+        out = capsys.readouterr().out
+        assert "shard 1 blacked out" in out
+        assert "post-recovery answer exact" in out
+
+    def test_shard_json_summary(self, db_path, capsys):
+        import json
+        assert main(["shard", db_path, "--d", "2.0", "--batches", "2",
+                     "--method", "cpu_scan", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exact"] == 2
+        assert payload["layout"]["num_shards"] == 3
+        assert payload["stats"]["requests"] == 2
+
+    def test_chaos_shard_mode(self, capsys):
+        import json
+        assert main(["chaos", "--seed", "3", "--requests", "30",
+                     "--shards", "3", "--kill-shard-every", "7",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["fired_by_kind"].get("shard_kill", 0) > 0
+        assert payload["fired_by_kind"].get("shard_blackout", 0) > 0
+        assert payload["recoveries"] >= 1
+        assert payload["mismatches"] == []
+
+    def test_chaos_shard_mode_renders(self, capsys):
+        assert main(["chaos", "--seed", "5", "--requests", "24",
+                     "--shards", "3", "--kill-shard-every", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "shard-chaos campaign report" in out
+        assert "survived            yes" in out

@@ -107,3 +107,122 @@ class TestCluster:
         truth = brute_force_search(small_db, small_db, 0.5,
                                    exclude_same_trajectory=True)
         assert res.equivalent_to(truth)
+
+
+class TestPartitionProperties:
+    """Property test: every strategy yields disjoint, covering shards
+    on adversarial databases (more shards than trajectories, a single
+    trajectory, duplicate timestamps across trajectories)."""
+
+    CASES = [
+        # (num_traj, steps, num_nodes, seed)
+        (1, 2, 4, 0),        # one trajectory, one segment, N > rows
+        (1, 5, 3, 1),        # single trajectory split across slabs
+        (2, 3, 16, 2),       # N >> trajectories: empty shards
+        (7, 4, 3, 3),
+        (5, 6, 5, 4),
+        (12, 3, 4, 5),
+    ]
+
+    @pytest.mark.parametrize("strategy", sorted(PARTITION_STRATEGIES))
+    @pytest.mark.parametrize("num_traj,steps,nodes,seed", CASES)
+    def test_disjoint_and_covering(self, strategy, num_traj, steps,
+                                   nodes, seed):
+        from repro.core.types import SegmentArray
+        from tests.conftest import make_walk_trajectories
+        db = SegmentArray.from_trajectories(
+            make_walk_trajectories(num_traj, steps, seed=seed))
+        shards = partition_database(db, nodes, strategy)
+        assert len(shards) == nodes
+        all_ids = np.concatenate([s.seg_ids for s in shards])
+        # Disjoint: no seg_id appears twice across shards.
+        assert all_ids.size == np.unique(all_ids).size
+        # Covering: the union is exactly the database.
+        np.testing.assert_array_equal(np.sort(all_ids),
+                                      np.sort(db.seg_ids))
+
+    @pytest.mark.parametrize("strategy", sorted(PARTITION_STRATEGIES))
+    def test_empty_shards_round_trip(self, strategy):
+        """More shards than rows: the empty shards are real (length 0)
+        SegmentArrays and the non-empty ones concatenate back to the
+        database."""
+        from repro.core.types import SegmentArray
+        from tests.conftest import make_walk_trajectories
+        db = SegmentArray.from_trajectories(
+            make_walk_trajectories(2, 2, seed=7))  # 2 segments
+        shards = partition_database(db, 9, strategy)
+        assert sum(len(s) == 0 for s in shards) >= 7
+        rebuilt = concatenate([s for s in shards if len(s)])
+        order = np.argsort(rebuilt.seg_ids)
+        np.testing.assert_array_equal(rebuilt.seg_ids[order],
+                                      np.sort(db.seg_ids))
+
+    def test_partition_indices_match_database_partition(self, small_db):
+        from repro.distributed import partition_indices
+        for strategy in sorted(PARTITION_STRATEGIES):
+            idx = partition_indices(small_db, 4, strategy)
+            shards = partition_database(small_db, 4, strategy)
+            for ix, shard in zip(idx, shards):
+                np.testing.assert_array_equal(
+                    small_db.seg_ids[np.asarray(ix, dtype=np.int64)],
+                    shard.seg_ids)
+
+
+class TestMpiFallback:
+    """repro.distributed must not require mpi4py (satellite: lazy
+    import with a clear error)."""
+
+    def test_import_clean_without_mpi4py(self):
+        """A fresh interpreter with mpi4py blocked imports the package
+        and builds a loopback world."""
+        import subprocess
+        import sys
+        from pathlib import Path
+        import repro
+        src = str(Path(repro.__file__).parents[1])
+        code = (
+            "import sys; sys.modules['mpi4py'] = None\n"
+            "import repro.distributed as d\n"
+            "w = d.world()\n"
+            "assert isinstance(w, d.LoopbackComm), type(w)\n"
+            "print('clean')\n")
+        proc = subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, text=True,
+                              env={"PYTHONPATH": src})
+        assert proc.returncode == 0, proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_mpi4py_comm_raises_typed_error(self, monkeypatch):
+        import sys
+        from repro.distributed import Mpi4pyComm, MpiUnavailableError
+        monkeypatch.setitem(sys.modules, "mpi4py", None)
+        with pytest.raises(MpiUnavailableError) as exc:
+            Mpi4pyComm()
+        msg = str(exc.value)
+        assert "LoopbackComm" in msg
+        assert "mpiexec" in msg
+        # Subclasses ImportError so existing fallbacks keep working.
+        assert isinstance(exc.value, ImportError)
+
+    def test_world_falls_back_to_loopback(self, monkeypatch):
+        import sys
+        from repro.distributed import LoopbackComm, world
+        monkeypatch.setitem(sys.modules, "mpi4py", None)
+        assert isinstance(world(), LoopbackComm)
+
+    def test_explicit_comm_skips_import(self, monkeypatch):
+        """Handing Mpi4pyComm a comm object never touches mpi4py."""
+        import sys
+        from repro.distributed import Mpi4pyComm
+        monkeypatch.setitem(sys.modules, "mpi4py", None)
+
+        class FakeComm:
+            def Get_rank(self):
+                return 3
+
+            def Get_size(self):
+                return 8
+
+        comm = Mpi4pyComm(FakeComm())
+        assert comm.rank == 3
+        assert comm.size == 8

@@ -424,3 +424,48 @@ class TestAtomicSave:
         path = save_segments(tmp_path / "db.npz", a)
         save_segments(path, b)
         assert np.array_equal(load_segments(path).xs, b.xs)
+
+
+class TestKeepSegIdsReplay:
+    """The WAL records the router's ``keep_seg_ids`` flag so recovery
+    replays shard appends with the same global ids."""
+
+    def test_wal_replay_preserves_kept_ids(self, tmp_path):
+        svc = QueryService(
+            _db(), durability_dir=tmp_path / "state",
+            auto_compact=False,
+            durability=DurabilityPolicy(checkpoint_every=100))
+        fresh = _db(seed=5, n=1, steps=4, offset=300)
+        stamped = SegmentArray(
+            fresh.xs, fresh.ys, fresh.zs, fresh.ts,
+            fresh.xe, fresh.ye, fresh.ze, fresh.te,
+            fresh.traj_ids,
+            np.arange(77_000, 77_000 + len(fresh), dtype=np.int64))
+        svc.ingest(stamped, keep_seg_ids=True)
+        svc.shutdown()
+
+        svc2 = QueryService.recover(tmp_path / "state",
+                                    auto_compact=False)
+        logical = svc2.versioned.snapshot().logical()
+        kept = np.isin(logical.seg_ids, stamped.seg_ids)
+        assert kept.sum() == len(stamped)
+        svc2.shutdown()
+
+    def test_wal_payload_carries_flag(self, tmp_path):
+        svc = QueryService(
+            _db(), durability_dir=tmp_path / "state",
+            auto_compact=False,
+            durability=DurabilityPolicy(checkpoint_every=100))
+        fresh = _db(seed=5, n=1, steps=4, offset=300)
+        stamped = SegmentArray(
+            fresh.xs, fresh.ys, fresh.zs, fresh.ts,
+            fresh.xe, fresh.ye, fresh.ze, fresh.te,
+            fresh.traj_ids,
+            np.arange(77_000, 77_000 + len(fresh), dtype=np.int64))
+        svc.ingest(stamped, keep_seg_ids=True)
+        svc.ingest(_db(seed=6, n=1, steps=4, offset=400))
+        svc.shutdown()
+        records = read_wal(tmp_path / "state" / "wal.jsonl").records
+        appends = [r for r in records if r.op == "append"]
+        assert appends[0].payload.get("keep_seg_ids") is True
+        assert "keep_seg_ids" not in appends[1].payload

@@ -330,3 +330,63 @@ class TestServiceIngestion:
         snap = svc.telemetry.metrics.snapshot()
         assert "repro_ingest_total" in snap
         assert "repro_delta_segments" in snap
+
+
+class TestKeepSegIds:
+    """``append(..., keep_seg_ids=True)``: the sharded router stamps
+    globally unique ids before routing, and each shard's database must
+    keep them verbatim instead of restamping."""
+
+    def test_kept_ids_survive_verbatim(self, base):
+        fresh = _db(num_traj=1, steps=4, seed=5, id_offset=300)
+        stamped = SegmentArray(
+            fresh.xs, fresh.ys, fresh.zs, fresh.ts,
+            fresh.xe, fresh.ye, fresh.ze, fresh.te,
+            fresh.traj_ids,
+            np.arange(10_000, 10_000 + len(fresh), dtype=np.int64))
+        db = VersionedDatabase(base)
+        db.append(stamped, keep_seg_ids=True)
+        logical = db.snapshot().logical()
+        kept = np.isin(logical.seg_ids, stamped.seg_ids)
+        assert kept.sum() == len(stamped)
+
+    def test_next_append_continues_past_kept_ids(self, base):
+        fresh = _db(num_traj=1, steps=4, seed=5, id_offset=300)
+        stamped = SegmentArray(
+            fresh.xs, fresh.ys, fresh.zs, fresh.ts,
+            fresh.xe, fresh.ye, fresh.ze, fresh.te,
+            fresh.traj_ids,
+            np.arange(10_000, 10_000 + len(fresh), dtype=np.int64))
+        db = VersionedDatabase(base)
+        db.append(stamped, keep_seg_ids=True)
+        more = db.append(_db(num_traj=1, steps=4, seed=6,
+                             id_offset=400))
+        logical = db.snapshot().logical()
+        assert logical.seg_ids.min() >= 0
+        assert int(logical.seg_ids.max()) >= 10_000 + len(stamped)
+        assert logical.seg_ids.size == np.unique(logical.seg_ids).size
+        assert more  # receipt truthy
+
+    def test_kept_ids_below_counter_rejected(self, base):
+        """Ids colliding with (or below) already-issued ids would break
+        uniqueness: refused up front."""
+        fresh = _db(num_traj=1, steps=4, seed=5, id_offset=300)
+        clash = SegmentArray(
+            fresh.xs, fresh.ys, fresh.zs, fresh.ts,
+            fresh.xe, fresh.ye, fresh.ze, fresh.te,
+            fresh.traj_ids,
+            np.arange(len(fresh), dtype=np.int64))  # 0..n-1: taken
+        db = VersionedDatabase(base)
+        with pytest.raises(IngestError):
+            db.append(clash, keep_seg_ids=True)
+
+    def test_duplicate_kept_ids_rejected(self, base):
+        fresh = _db(num_traj=1, steps=4, seed=5, id_offset=300)
+        dup = SegmentArray(
+            fresh.xs, fresh.ys, fresh.zs, fresh.ts,
+            fresh.xe, fresh.ye, fresh.ze, fresh.te,
+            fresh.traj_ids,
+            np.full(len(fresh), 10_000, dtype=np.int64))
+        db = VersionedDatabase(base)
+        with pytest.raises(IngestError):
+            db.append(dup, keep_seg_ids=True)

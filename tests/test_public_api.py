@@ -16,6 +16,8 @@ PACKAGES = [
     "repro.astro",
     "repro.experiments",
     "repro.service",
+    "repro.sharding",
+    "repro.faults",
 ]
 
 

@@ -1,0 +1,439 @@
+"""Tests for the sharded serving layer: exact scatter-gather, replica
+failover, partial answers, op-log recovery, and divergence detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.types import SegmentArray, Trajectory
+from repro.distributed import PARTITION_STRATEGIES
+from repro.engines.cpu_scan import CpuScanEngine
+from repro.faults import (SHARD_FAULT_KINDS, ShardCampaignConfig,
+                          ShardCampaignReport, run_shard_campaign)
+from repro.faults.crashes import _result_bytes
+from repro.ingest import IngestError
+from repro.obs import Telemetry
+from repro.service import SearchRequest
+from repro.sharding import (MergeInvariantError, ShardMap,
+                            ShardedService)
+from tests.conftest import make_walk_trajectories
+
+D = 4.0
+
+
+def _db(num_traj=10, steps=6, seed=3, offset=0):
+    trajs = make_walk_trajectories(num_traj, steps, seed=seed)
+    if offset:
+        trajs = [Trajectory(t.traj_id + offset, t.times, t.positions)
+                 for t in trajs]
+    return SegmentArray.from_trajectories(trajs)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    """Query walks chosen so the whole-database truth is non-empty —
+    exactness assertions must never be vacuous (empty == empty)."""
+    return _db(5, 8, seed=80, offset=9000)
+
+
+def _truth_bytes(db, queries, keep_seg_ids=None):
+    logical = db
+    if keep_seg_ids is not None:
+        mask = np.isin(db.seg_ids, keep_seg_ids)
+        logical = db.take(np.flatnonzero(mask))
+    return _result_bytes(CpuScanEngine(logical).search(queries, D)[0])
+
+
+def _request(queries, method="cpu_scan", rid="r0"):
+    return SearchRequest(queries=queries, d=D, method=method,
+                         request_id=rid)
+
+
+def _whole(db, *appends, deletes=()):
+    """Whole-database referee: same global seg_id stamping the router
+    applies (a plain VersionedDatabase restamps appends identically)."""
+    from repro.ingest import VersionedDatabase
+    ref = VersionedDatabase(db)
+    for fresh in appends:
+        ref.append(fresh)
+    for tid in deletes:
+        ref.delete_trajectory(tid)
+    return ref.snapshot().logical()
+
+
+class TestExactScatterGather:
+    @pytest.mark.parametrize("strategy", sorted(PARTITION_STRATEGIES))
+    def test_merged_answer_matches_whole_database(self, strategy,
+                                                  queries, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3, strategy=strategy,
+                            durability_root=tmp_path) as svc:
+            resp = svc.submit(_request(queries))
+            assert resp.ok
+            assert len(resp.outcome.results) > 0, "vacuous truth"
+            assert _result_bytes(resp.outcome.results) == \
+                _truth_bytes(db, queries)
+
+    def test_gpu_methods_merge_exactly(self, queries):
+        db = _db()
+        with ShardedService(db, num_shards=3) as svc:
+            for method in ("gpu_temporal", "cpu_rtree", "auto"):
+                resp = svc.submit(_request(queries, method=method))
+                assert resp.ok, resp.reason
+                assert _result_bytes(resp.outcome.results) == \
+                    _truth_bytes(db, queries)
+
+    def test_more_shards_than_trajectories(self, queries):
+        db = _db(2, 4, seed=5)
+        with ShardedService(db, num_shards=8) as svc:
+            assert len([s for s in svc.shards if s.replicas]) <= 2
+            resp = svc.submit(_request(queries))
+            assert resp.ok
+            assert _result_bytes(resp.outcome.results) == \
+                _truth_bytes(db, queries)
+
+    def test_modeled_time_is_slowest_leg(self, queries):
+        db = _db()
+        with ShardedService(db, num_shards=3) as svc:
+            resp = svc.submit(_request(queries, method="gpu_temporal"))
+            assert resp.outcome.modeled.total > 0.0
+
+
+class TestMutationRouting:
+    def test_ingest_routes_and_stays_exact(self, queries, tmp_path):
+        db = _db()
+        fresh = _db(2, 5, seed=11, offset=500)
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            receipt = svc.ingest(fresh)
+            assert receipt["segments"] == len(fresh)
+            assert receipt["routed"]
+            assert sum(receipt["routed"].values()) == len(fresh)
+            resp = svc.submit(_request(queries))
+            assert resp.ok
+            assert _result_bytes(resp.outcome.results) == \
+                _truth_bytes(_whole(db, fresh), queries)
+
+    def test_global_seg_ids_are_unique_across_shards(self, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            svc.ingest(_db(2, 5, seed=11, offset=500))
+            ids = np.concatenate([
+                r.service.versioned.snapshot().logical().seg_ids
+                for s in svc.shards for r in s.replicas
+                if r.live and r.index == 0])
+            assert ids.size == np.unique(ids).size
+
+    def test_delete_fans_out_and_stays_exact(self, queries):
+        db = _db()
+        with ShardedService(db, num_shards=3) as svc:
+            victim = int(db.traj_ids[0])
+            hidden = svc.delete_trajectory(victim)
+            assert hidden > 0
+            keep = db.take(np.flatnonzero(db.traj_ids != victim))
+            resp = svc.submit(_request(queries))
+            assert _result_bytes(resp.outcome.results) == \
+                _truth_bytes(keep, queries)
+            # Idempotent: a second delete is a no-op.
+            assert svc.delete_trajectory(victim) == 0
+
+    def test_delete_refusals(self):
+        db = _db()
+        with ShardedService(db, num_shards=3) as svc:
+            with pytest.raises(IngestError):
+                svc.delete_trajectory(424242)
+            victim = int(db.traj_ids[0])
+            svc.delete_trajectory(victim)
+            with pytest.raises(IngestError):
+                # Re-using a deleted trajectory id is refused.
+                svc.ingest(_db(1, 4, seed=9, offset=victim))
+
+    def test_compaction_is_routed_and_exact(self, queries, tmp_path):
+        from repro.ingest import CompactionPolicy
+        db = _db()
+        with ShardedService(
+                db, num_shards=3, durability_root=tmp_path,
+                service_kwargs={"compaction": CompactionPolicy(
+                    max_delta_segments=4)}) as svc:
+            appends = [_db(1, 5, seed=20 + k, offset=600 + 10 * k)
+                       for k in range(3)]
+            for fresh in appends:
+                svc.ingest(fresh)
+            assert any(op == "compact" for s in svc.shards
+                       for _, op, _ in s.oplog)
+            resp = svc.submit(_request(queries))
+            assert _result_bytes(resp.outcome.results) == \
+                _truth_bytes(_whole(db, *appends), queries)
+
+
+class TestFailover:
+    def test_kill_one_replica_keeps_exact_answers(self, queries,
+                                                  tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            killed = svc.kill_replica(0)
+            assert killed is not None and not killed.live
+            for i in range(3):
+                resp = svc.submit(_request(queries, rid=f"k{i}"))
+                assert resp.ok
+                assert _result_bytes(resp.outcome.results) == \
+                    _truth_bytes(db, queries)
+
+    def test_blackout_answers_partial_over_survivors(self, queries,
+                                                     tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            assert svc.blackout_shard(1) == 2
+            resp = svc.submit(_request(queries))
+            assert resp.status == "partial"
+            assert resp.partial
+            assert resp.missing_shards == (1,)
+            surviving = np.concatenate(
+                [svc.plan.seg_ids_of(s) for s in (0, 2)])
+            assert _result_bytes(resp.outcome.results) == \
+                _truth_bytes(db, queries, keep_seg_ids=surviving)
+
+    def test_partial_requires_both_replicas_down(self, queries,
+                                                 tmp_path):
+        """One live replica left => still a full, exact answer."""
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            svc.kill_replica(1, 0)
+            resp = svc.submit(_request(queries))
+            assert resp.status == "ok"
+            assert resp.missing_shards == ()
+
+    def test_recover_replica_rejoins_exactly(self, queries, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            svc.blackout_shard(0)
+            fresh = _db(1, 5, seed=31, offset=700)
+            svc.ingest(fresh)  # shard 0 dark: op-log only
+            whole = _whole(db, fresh)
+            for r in (0, 1):
+                replica = svc.recover_replica(0, r)
+                assert replica.live
+                assert replica.service.versioned.epoch == \
+                    svc.shards[0].epoch
+            resp = svc.submit(_request(queries))
+            assert resp.status == "ok"
+            assert _result_bytes(resp.outcome.results) == \
+                _truth_bytes(whole, queries)
+
+    def test_memory_only_recovery_replays_full_oplog(self, queries):
+        db = _db()
+        with ShardedService(db, num_shards=3) as svc:  # no durability
+            shard = next(s.index for s in svc.shards if s.replicas)
+            svc.ingest(_db(1, 4, seed=41, offset=800))
+            svc.kill_replica(shard, 0)
+            replica = svc.recover_replica(shard, 0)
+            assert replica.live
+            assert replica.service.versioned.epoch == \
+                svc.shards[shard].epoch
+
+    def test_recover_live_replica_is_an_error(self, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            with pytest.raises(ValueError):
+                svc.recover_replica(0, 0)
+
+
+class TestDivergenceDetection:
+    """Satellite: a stale (pre-ingest epoch) replica is detected via
+    the epoch carried in its SearchResponse and re-fetched from a
+    healthy replica — never silently merged."""
+
+    def test_stale_replica_discarded_and_refetched(self, queries,
+                                                   tmp_path):
+        from repro.service import QueryService
+        db = _db()
+        telemetry = Telemetry(enabled=True)
+        with ShardedService(db, num_shards=3, telemetry=telemetry,
+                            durability_root=tmp_path) as svc:
+            shard = svc.shards[0]
+            svc.kill_replica(0, 1)          # dies before the ingest
+            # Extend a trajectory shard 0 already owns, so the ingest
+            # is guaranteed to route there and advance its epoch.
+            tid = next(int(t) for t in np.unique(db.traj_ids)
+                       if svc.plan.shards_of(int(t)) == (0,))
+            fresh = _db(1, 5, seed=51, offset=tid)
+            svc.ingest(fresh)               # shard 0's epoch advances
+            assert shard.epoch == 1
+            # Resurrect replica 1 *stale*: pristine base, no catch-up
+            # (simulating a replica that lost the mutation).
+            shard.replicas[1].service = QueryService(
+                shard.base, telemetry=Telemetry(enabled=False),
+                **svc.service_kwargs)
+            shard.rr = 1                    # stale replica tried first
+            resp = svc.submit(_request(queries))
+            assert resp.status == "ok"
+            assert _result_bytes(resp.outcome.results) == \
+                _truth_bytes(_whole(db, fresh), queries)
+            mism = telemetry.metrics.get(
+                "repro_router_epoch_mismatch_total")
+            assert mism is not None and mism.total() >= 1
+
+    def test_merge_invariant_raises_on_overlap(self, queries,
+                                               tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            # Pick a shard whose leg actually has matches so the
+            # duplicated part really overlaps.
+            shard, leg = next(
+                (s, r) for s in svc.shards if s.replicas
+                for r in [s.replicas[0].service.submit(
+                    _request(queries))]
+                if r.ok and len(r.outcome.results) > 0)
+            with pytest.raises(MergeInvariantError):
+                svc._merge_outcomes(_request(queries),
+                                    [(shard, leg), (shard, leg)])
+
+
+class TestShardMap:
+    def test_would_empty_and_shards_of(self):
+        db = _db(3, 4, seed=8)
+        plan = ShardMap(db, 3, "round_robin")
+        for tid in np.unique(db.traj_ids).tolist():
+            shards = plan.shards_of(int(tid))
+            assert len(shards) == 1
+            assert plan.would_empty(int(tid)) == list(shards)
+
+    @pytest.mark.parametrize("strategy", sorted(PARTITION_STRATEGIES))
+    def test_assign_append_routes_to_nonempty_shards(self, strategy):
+        db = _db(4, 4, seed=8)
+        plan = ShardMap(db, 6, strategy)
+        fresh = _db(2, 4, seed=13, offset=300)
+        routed = plan.assign_append(fresh)
+        total = 0
+        for shard, rows in routed:
+            assert len(rows) > 0
+            assert plan._seg_counts[shard] >= len(rows)
+            total += len(rows)
+        assert total == len(fresh)
+
+    def test_known_trajectory_keeps_its_shard(self):
+        db = _db(4, 4, seed=8)
+        plan = ShardMap(db, 2, "round_robin")
+        tid = int(db.traj_ids[0])
+        home = plan.shards_of(tid)[0]
+        more = _db(1, 3, seed=99, offset=tid)  # same trajectory id
+        routed = plan.assign_append(more)
+        assert [shard for shard, _ in routed] == [home]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(_db(), 2, "zigzag")
+
+
+class TestObservability:
+    def test_merged_metrics_carry_shard_labels(self, queries,
+                                               tmp_path):
+        db = _db()
+        telemetry = Telemetry(enabled=True)
+        with ShardedService(db, num_shards=3, telemetry=telemetry,
+                            durability_root=tmp_path) as svc:
+            svc.submit(_request(queries))
+            text = svc.merged_metrics().to_prometheus_text()
+            assert 'shard="0"' in text
+            assert 'replica="0"' in text
+            assert "repro_router_requests_total" in text
+
+    def test_stats_shape(self, queries, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            svc.submit(_request(queries))
+            stats = svc.stats()
+            assert stats["requests"] == 1
+            assert len(stats["shards"]) == 3
+            json.dumps(stats)  # JSON-friendly
+
+
+class TestPartialResponseContract:
+    def test_partial_round_trips(self, queries, tmp_path):
+        from repro.service import SearchResponse
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            svc.blackout_shard(2)
+            resp = svc.submit(_request(queries))
+            assert resp.status == "partial"
+            clone = SearchResponse.from_dict(resp.to_dict())
+            assert clone.status == "partial"
+            assert clone.missing_shards == resp.missing_shards
+
+    def test_partial_requires_missing_shards(self):
+        from repro.gpu.profiler import RequestMetrics
+        from repro.service import SearchResponse
+        with pytest.raises(ValueError):
+            SearchResponse(request_id="x", outcome=None,
+                           metrics=RequestMetrics(engine="t"),
+                           status="partial")
+
+    def test_missing_shards_only_on_partial(self, queries, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            resp = svc.submit(_request(queries))
+            assert resp.status == "ok"
+            assert resp.missing_shards == ()
+
+
+class TestShardCampaign:
+    def test_small_campaign_survives(self, tmp_path):
+        cfg = ShardCampaignConfig(seed=0, num_requests=40,
+                                  kill_every=7, recover_after=4,
+                                  methods=("cpu_scan", "cpu_rtree"))
+        report = run_shard_campaign(cfg, durability_root=tmp_path)
+        assert report.ok, report.to_dict()
+        assert report.total == 40
+        assert all(report.fired_by_kind.get(k, 0) > 0
+                   for k in SHARD_FAULT_KINDS)
+        assert report.recoveries >= 1
+        assert report.mismatches == []
+
+    def test_report_round_trip_and_render(self, tmp_path):
+        cfg = ShardCampaignConfig(seed=1, num_requests=24,
+                                  kill_every=5, recover_after=3,
+                                  methods=("cpu_scan",))
+        report = run_shard_campaign(cfg, durability_root=tmp_path)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] == report.ok
+        assert payload["config"]["seed"] == 1
+        text = report.render()
+        assert "shard-chaos campaign report" in text
+        assert "survived" in text
+
+    def test_memory_only_campaign(self):
+        cfg = ShardCampaignConfig(seed=2, num_requests=24,
+                                  kill_every=5, recover_after=3,
+                                  durable=False,
+                                  methods=("cpu_scan",))
+        report = run_shard_campaign(cfg)
+        assert report.ok, report.to_dict()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ShardCampaignConfig(num_requests=0)
+        with pytest.raises(ValueError):
+            ShardCampaignConfig(recover_after=0)
+
+    def test_ok_gate_demands_all_kinds(self):
+        report = ShardCampaignReport(
+            config=ShardCampaignConfig(num_requests=1).to_dict())
+        report.outcomes = {"ok": 1}
+        report.verified = 1
+        report.final_exact = True
+        report.recoveries = 1
+        report.fired_by_kind = {"shard_kill": 2}  # no blackout
+        assert not report.ok
+        report.fired_by_kind["shard_blackout"] = 1
+        assert report.ok

@@ -24,6 +24,10 @@ chaos      run a seeded fault-injection campaign against the query
            trajectories mid-campaign so compaction runs under faults;
            --shards N switches to the shard-kill campaign against a
            sharded, replicated service)
+standing   run the standing-query exactness campaign: continuous
+           subscriptions over a streaming fleet, compactions and a
+           mid-stream crash + recovery, every epoch's incremental
+           answer pinned byte-identical to from-scratch evaluation
 shard      serve query batches through a sharded, replicated service
            (scatter-gather merges checked against a whole-database
            referee; --kill-shard demonstrates partial answers and
@@ -47,6 +51,7 @@ python -m repro figures fig5 --scale 0.01
 python -m repro chaos --seed 7 --requests 200 --rate 0.15
 python -m repro chaos --seed 7 --requests 120 --shards 3 \\
     --kill-shard-every 11
+python -m repro standing --seed 7 --epochs 16 --subs 6 --json
 python -m repro shard merger.npz --d 1.5 --shards 3 --replicas 2 \\
     --kill-shard 1 --recover
 python -m repro ingest merger.npz --d 1.5 --rounds 6 \\
@@ -61,6 +66,7 @@ import sys
 import numpy as np
 
 from .core.search import DistanceThresholdSearch
+from .durability import KILL_POINTS
 from .engines import available
 from .data.io import load_segments, save_segments
 from .data.merger import MergerConfig, merger_dataset
@@ -286,6 +292,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="make the run durable: WAL every mutation "
                         "into DIR and checkpoint periodically, so a "
                         "crash is recoverable with 'repro recover'")
+
+    p = sub.add_parser(
+        "standing", help="run the standing-query exactness campaign: "
+                         "a streaming fleet, continuous subscriptions, "
+                         "forced compactions, and a mid-stream crash + "
+                         "recovery, every epoch pinned byte-identical "
+                         "to from-scratch evaluation")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed: fleet stream, subscriptions, "
+                        "and crash point all derive from it")
+    p.add_argument("--epochs", type=int, default=16,
+                   help="workload epochs streamed (default 16)")
+    p.add_argument("--subs", type=int, default=6,
+                   help="standing subscriptions registered (default 6)")
+    p.add_argument("--d", type=float, default=3.0,
+                   help="subscription distance threshold (default 3)")
+    p.add_argument("--kill-point", default="wal_post_append",
+                   choices=list(KILL_POINTS),
+                   help="kill-point class for the mid-stream crash "
+                        "(default wal_post_append)")
+    p.add_argument("--crash-on-op", type=int, default=None, metavar="N",
+                   help="crash on exactly the Nth mutation (default: "
+                        "mid-schedule; WAL kill points only)")
+    p.add_argument("--faults", action="store_true",
+                   help="also wire a device fault injector and probe "
+                        "the one-shot path mid-campaign")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON instead of the "
+                        "rendered summary")
 
     p = sub.add_parser(
         "checkpoint", help="force a durable checkpoint of a "
@@ -750,6 +785,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_standing(args: argparse.Namespace) -> int:
+    import json
+
+    from .standing import StandingCampaignConfig, run_standing_campaign
+
+    cfg = StandingCampaignConfig(
+        seed=args.seed, stream_epochs=args.epochs,
+        num_subscriptions=args.subs, d=args.d,
+        kill_point=args.kill_point, crash_on_op=args.crash_on_op,
+        faults=args.faults)
+    report = run_standing_campaign(cfg)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_shard(args: argparse.Namespace) -> int:
     import json
 
@@ -1013,6 +1066,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": cmd_figures,
         "calibrate": cmd_calibrate,
         "chaos": cmd_chaos,
+        "standing": cmd_standing,
         "shard": cmd_shard,
         "ingest": cmd_ingest,
         "checkpoint": cmd_checkpoint,

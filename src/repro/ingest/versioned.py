@@ -227,6 +227,20 @@ class Snapshot:
                              else concatenate([base, live]))
         return self._logical
 
+    def seg_ids_of_trajectory(self, traj_id: int) -> np.ndarray:
+        """All physical seg_ids carried by one trajectory id, across
+        base and delta, tombstoned or not.
+
+        The standing-query layer calls this on a *post-delete* snapshot
+        to learn which entry ids a tombstone just hid — the rows are
+        physically still present, which is exactly why the lookup
+        works.
+        """
+        traj_id = int(traj_id)
+        return np.concatenate([
+            self.base.seg_ids[self.base.traj_ids == traj_id],
+            self.delta.seg_ids[self.delta.traj_ids == traj_id]])
+
     # -- tombstone filtering at refinement ---------------------------------------
 
     def _seg_to_traj(self) -> tuple[np.ndarray, np.ndarray]:

@@ -23,7 +23,8 @@ invocation).  ``QueryService.stats()`` reads the registry, the
 ``metrics`` / ``trace`` CLI subcommands export it.
 """
 
-from .events import Event, EventLog, SlowQuery, SlowQueryLog
+from .events import (Event, EventLog, STANDING_EVENT_KINDS, SlowQuery,
+                     SlowQueryLog)
 from .metrics import (Counter, DEFAULT_LATENCY_BUCKETS, Gauge, Histogram,
                       MetricsRegistry)
 from .telemetry import DISABLED, Telemetry, current
@@ -50,6 +51,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "STANDING_EVENT_KINDS",
     "SlowQuery",
     "SlowQueryLog",
     "Span",

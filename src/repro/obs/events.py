@@ -21,7 +21,18 @@ from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["Event", "EventLog", "SlowQueryLog", "SlowQuery"]
+__all__ = ["Event", "EventLog", "SlowQueryLog", "SlowQuery",
+           "STANDING_EVENT_KINDS"]
+
+#: event kinds the standing-query layer emits (repro.standing): the
+#: per-pair delta stream, subscription lifecycle, per-epoch summaries,
+#: and recovery reports.  Grouped here so dashboards and tests filter
+#: on one authoritative tuple instead of string literals.
+STANDING_EVENT_KINDS = (
+    "match_added", "match_removed",
+    "subscription_registered", "subscription_unregistered",
+    "standing_epoch", "standing_recovered",
+)
 
 
 @dataclass

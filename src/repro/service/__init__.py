@@ -31,6 +31,7 @@ Entry point::
 
 from ..ingest import (CompactionPolicy, CompactionResult, IngestError,
                       IngestReceipt, Snapshot, VersionedDatabase)
+from ..standing import StandingPolicy, Subscription
 from .cache import (CacheEntry, CacheStats, EngineCache,
                     canonical_params, database_fingerprint)
 from .requests import RESPONSE_STATUSES, SearchRequest, SearchResponse
@@ -55,6 +56,8 @@ __all__ = [
     "SearchRequest",
     "SearchResponse",
     "Snapshot",
+    "StandingPolicy",
+    "Subscription",
     "VersionedDatabase",
     "canonical_params",
     "database_fingerprint",

@@ -76,6 +76,8 @@ from ..ingest import (CompactionPolicy, CompactionResult, IngestReceipt,
                       Snapshot, VersionedDatabase, as_segments,
                       overlay_search)
 from ..obs import Telemetry
+from ..standing import (StandingPolicy, StandingQueryManager,
+                        StandingStore, Subscription)
 from .cache import (CacheEntry, EngineCache, canonical_params,
                     database_fingerprint)
 from .requests import SearchRequest, SearchResponse
@@ -279,7 +281,8 @@ class QueryService:
                  auto_compact: bool = True,
                  durability_dir=None,
                  durability: DurabilityPolicy | None = None,
-                 durability_kill=None) -> None:
+                 durability_kill=None,
+                 standing: StandingPolicy | None = None) -> None:
         if max_queue_delay_s is not None and max_queue_delay_s < 0:
             raise ValueError("max_queue_delay_s must be >= 0 (or None)")
         if crosscheck_every < 0:
@@ -354,6 +357,13 @@ class QueryService:
                 else:
                     manager.attach(self.versioned)
             self.durability = manager
+        #: continuous subscriptions maintained delta-aware per epoch
+        #: (durable alongside the WAL when the service is durable).
+        self.standing = StandingQueryManager(
+            policy=standing,
+            store=(StandingStore(self.durability.directory / "standing")
+                   if self.durability is not None else None),
+            telemetry=self.telemetry)
 
     @property
     def database(self) -> SegmentArray:
@@ -475,6 +485,7 @@ class QueryService:
                 segments=receipt.num_segments,
                 trajectories=list(receipt.trajectory_ids),
                 compaction_due=receipt.compaction_due)
+            self._standing_epoch("append", appended=segments)
             if receipt.compaction_due and self.auto_compact:
                 self._compact(trigger="policy")
             self._maybe_checkpoint()
@@ -502,6 +513,7 @@ class QueryService:
             self.telemetry.events.emit(
                 "delete", traj_id=int(traj_id),
                 epoch=self.versioned.epoch, hidden_segments=hidden)
+            self._standing_epoch("delete", deleted_traj=int(traj_id))
             if self.auto_compact and self.versioned.should_compact():
                 self._compact(trigger="policy")
             self._maybe_checkpoint()
@@ -547,6 +559,10 @@ class QueryService:
             stale = self._invalidate_stale_bases()
             self._shard_cache.clear()
             self._gauge_ingest()
+            # Compaction cannot change any answer (it preserves
+            # logical()), but the pass still settles carried-over
+            # re-evaluations and stamps the epoch.
+            self._standing_epoch("compact")
             self.telemetry.events.emit(
                 "compaction", trigger=trigger, epoch=result.epoch,
                 base_version=result.base_version,
@@ -609,6 +625,57 @@ class QueryService:
         reg.gauge("repro_tombstoned_trajectories",
                   "live tombstones").set(v.num_tombstones)
 
+    # -- standing queries --------------------------------------------------------
+
+    def register_subscription(self, sub: Subscription) -> dict:
+        """Register a continuous query; its initial answer settles
+        against the current snapshot and subsequent epochs stream
+        ``match_added``/``match_removed`` delta events.  Durable
+        services persist the subscription (it survives
+        :meth:`recover`)."""
+        with self.telemetry.activate():
+            return self.standing.register(sub, self.current_snapshot())
+
+    def unregister_subscription(self, sub_id: str) -> dict:
+        """Drop a subscription and its maintained match set."""
+        with self.telemetry.activate():
+            return self.standing.unregister(
+                sub_id, epoch=self.versioned.epoch)
+
+    def poll_subscription(self, sub_id: str, *,
+                          since_seq: int = -1) -> dict:
+        """One subscription's current matches + delta events after
+        ``since_seq`` (the client-facing incremental read)."""
+        return self.standing.poll(sub_id, since_seq=since_seq)
+
+    def flush_standing(self):
+        """Settle every deferred standing re-evaluation now (see
+        :class:`~repro.standing.StandingPolicy`)."""
+        with self.telemetry.activate():
+            return self.standing.flush(self.current_snapshot())
+
+    def _standing_epoch(self, kind: str, *, appended=None,
+                        deleted_traj: int | None = None) -> None:
+        """Run the standing maintenance pass for the epoch just
+        applied.  Skipped entirely while nothing is registered."""
+        if not self.standing.subscriptions \
+                and not self.standing.pending:
+            return
+        self.standing.process_epoch(
+            self.versioned.snapshot(), kind, appended=appended,
+            deleted_traj=deleted_traj,
+            pressure=self._queue_pressure())
+
+    def _queue_pressure(self) -> bool:
+        """The same backlog signal request shedding uses: every usable
+        executor is modeled-busy past ``max_queue_delay_s``."""
+        if self.max_queue_delay_s is None:
+            return False
+        waits = [max(0.0, lane.busy_until - self._clock)
+                 for lane in self.pool.usable_lanes()]
+        waits.append(max(0.0, self.pool.host.busy_until - self._clock))
+        return min(waits) > self.max_queue_delay_s
+
     # -- durability --------------------------------------------------------------
 
     def checkpoint(self):
@@ -622,9 +689,14 @@ class QueryService:
             return self._checkpoint()
 
     def _checkpoint(self, *, kill_point: str = "checkpoint_mid"):
-        return self.durability.checkpoint(
+        path = self.durability.checkpoint(
             self.versioned, warm_engines=self._warm_engines(),
             kill_point=kill_point)
+        # Fold the standing event log into its state file alongside the
+        # database checkpoint (after it: a kill inside the database
+        # checkpoint must leave the standing tail replayable).
+        self.standing.checkpoint(self.versioned.epoch)
+        return path
 
     def _maybe_checkpoint(self) -> None:
         if self.durability is not None \
@@ -672,11 +744,18 @@ class QueryService:
             service.durability = manager
             service.last_recovery = result
             prewarmed = service._prewarm_recovered(result)
+            service.standing.store = StandingStore(
+                manager.directory / "standing")
+            standing = service.standing.recover(
+                service.versioned.snapshot())
             sp.set_attributes(
                 checkpoint_epoch=result.checkpoint_epoch,
                 epoch=result.epoch, replayed=result.replayed,
                 torn_dropped=result.torn_dropped,
-                prewarmed=prewarmed)
+                prewarmed=prewarmed,
+                standing_subscriptions=standing["subscriptions"],
+                standing_replayed=standing["replayed_events"],
+                standing_caught_up=standing["caught_up_events"])
         return service
 
     def _prewarm_recovered(self, result) -> int:
@@ -762,8 +841,14 @@ class QueryService:
         if self._shut_down:
             return
         self._shut_down = True
+        if self.standing.pending:
+            # Deferred re-evaluations must not outlive the process:
+            # settle them so the durable match sets are exact.
+            with self.telemetry.activate():
+                self.standing.flush(self.versioned.snapshot())
         if self.durability is None:
             return
+        self.standing.checkpoint(self.versioned.epoch)
         directory = self.durability.directory
         try:
             self.telemetry.events.write_jsonl(
@@ -818,6 +903,7 @@ class QueryService:
                          for m_, b in sorted(self._breakers.items())},
             "ingest": {**self.versioned.stats(),
                        "prewarm_failures": self._prewarm_failures},
+            "standing": self.standing.stats(),
             "durability": (self.durability.stats()
                            if self.durability is not None else None),
         }

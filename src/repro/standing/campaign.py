@@ -1,0 +1,529 @@
+"""Standing-query campaign: epoch-by-epoch equivalence under crashes.
+
+The headline proof of the standing-query subsystem: a seeded
+moving-objects stream (:mod:`repro.data.moving`) is driven through a
+durable :class:`~repro.service.QueryService` with continuous
+subscriptions registered up front, and after **every** mutation the
+maintained incremental answer of every subscription is compared —
+byte-identically, via :func:`~repro.faults.crashes._result_bytes` —
+against a from-scratch ``cpu_scan`` over the snapshot's logical
+database.  Mid-stream the campaign forces compactions, kills the
+process at a :class:`~repro.durability.KillSwitch` point, recovers with
+:meth:`~repro.service.QueryService.recover`, and resumes the schedule;
+the equivalence checks never stop.
+
+On top of exactness the campaign models a *client*: it drains the typed
+``match_added``/``match_removed`` event stream after every operation
+(and across the crash), maintains its own match sets purely from the
+events, and at the end asserts the event-folded sets equal the
+service's maintained sets — no event was lost, duplicated, or emitted
+out of life-cycle order (a pair is added at most once and only removed
+after being added; entry ids are never reused, so that invariant is
+exact, not probabilistic).
+
+Finally the report asserts the maintenance was genuinely delta-aware:
+``skipped`` (subscriptions proven unaffected by an epoch's candidate
+envelope and not re-evaluated) must be positive, so the harness fails
+if the manager silently degrades to re-evaluating everybody.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.types import SegmentArray, Trajectory
+from ..data.moving import FleetConfig, MovingObjectsWorkload
+from ..data.random_walk import make_random_walks
+from ..durability import DurabilityPolicy, KILL_POINTS, KillSwitch, \
+    SimulatedCrash
+from ..engines.base import RetryPolicy
+from ..engines.cpu_scan import CpuScanEngine
+from ..faults.crashes import _result_bytes
+from ..faults.injector import FaultInjector, FaultSpec
+from ..obs import Telemetry
+# Submodule imports, not the package: repro.service's __init__ imports
+# repro.standing, so going through it would re-enter a half-initialized
+# package when an import starts from the service side.
+from ..service.requests import SearchRequest
+from ..service.scheduler import QueryService
+from .subscription import Subscription
+
+__all__ = ["StandingCampaignConfig", "StandingCampaignReport",
+           "run_standing_campaign"]
+
+#: the match-delta event kinds the client model folds.
+MATCH_KINDS = ("match_added", "match_removed")
+
+
+@dataclass(frozen=True)
+class StandingCampaignConfig:
+    """Knobs of one standing campaign; everything derives from ``seed``."""
+
+    seed: int = 0
+    #: workload epochs streamed (each becomes >= 1 database mutation).
+    stream_epochs: int = 16
+    num_subscriptions: int = 6
+    #: subscription distance threshold.
+    d: float = 3.0
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+    #: observations per subscription query trajectory.
+    query_steps: int = 6
+    query_step_sigma: float = 1.2
+    #: every Nth subscription gets a temporal window (0 = none do).
+    window_every: int = 3
+    #: kill-point class for the mid-stream crash.
+    kill_point: str = "wal_post_append"
+    #: crash on exactly this mutation (None = mid-schedule default;
+    #: only meaningful for the WAL kill points).
+    crash_on_op: int | None = None
+    checkpoint_every: int = 4
+    sync: str = "fsync"
+    #: wire a device FaultInjector + retries into the service, so the
+    #: probe requests exercise the resilience ladder mid-campaign.
+    faults: bool = False
+    fault_rate: float = 0.12
+    #: submit a one-shot probe request every Nth mutation (0 = never).
+    probe_every: int = 5
+
+    def __post_init__(self) -> None:
+        if self.stream_epochs < 6:
+            raise ValueError("stream_epochs must be >= 6 (the schedule "
+                             "needs room for compactions and a "
+                             "mid-stream crash)")
+        if self.num_subscriptions < 1:
+            raise ValueError("need at least one subscription")
+        if self.d <= 0:
+            raise ValueError("d must be positive")
+        if self.kill_point not in KILL_POINTS:
+            raise ValueError(f"unknown kill point {self.kill_point!r}; "
+                             f"expected one of {KILL_POINTS}")
+
+
+@dataclass
+class StandingCampaignReport:
+    """Everything one standing campaign measured."""
+
+    config: StandingCampaignConfig
+    num_ops: int = 0
+    compactions: int = 0
+    #: exactness checks run (one per subscription per mutation).
+    checks: int = 0
+    #: checks where the incremental answer != from-scratch cpu_scan.
+    mismatches: list = field(default_factory=list)
+    #: life-cycle violations in the drained event stream (duplicate
+    #: adds, removes without adds, ...).
+    event_violations: list = field(default_factory=list)
+    #: the simulated crash actually fired.
+    crash_fired: bool = False
+    crash_occurrence: int = 0
+    recovered_epoch: int = -1
+    #: operations re-driven after recovery to finish the schedule.
+    resumed_ops: int = 0
+    #: standing-manager lifetime counters summed across the crashed
+    #: and recovered service instances.
+    standing: dict = field(default_factory=dict)
+    #: event-folded client sets == maintained sets at end of stream.
+    stream_consistent: bool = False
+    probes_sent: int = 0
+    probes_ok: int = 0
+    #: device faults fired during probes, by kind (faults mode only).
+    faults_fired: dict = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        totals = self.standing
+        return (self.error is None
+                and self.checks > 0
+                and not self.mismatches
+                and not self.event_violations
+                and self.compactions >= 1
+                and self.crash_fired
+                and totals.get("recoveries", 0) >= 1
+                and totals.get("skipped", 0) > 0
+                and totals.get("events_added", 0) > 0
+                and self.stream_consistent)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"seed": self.config.seed,
+                "stream_epochs": self.config.stream_epochs,
+                "subscriptions": self.config.num_subscriptions,
+                "kill_point": self.config.kill_point,
+                "num_ops": self.num_ops,
+                "compactions": self.compactions,
+                "checks": self.checks,
+                "mismatches": list(self.mismatches),
+                "event_violations": list(self.event_violations),
+                "crash_fired": self.crash_fired,
+                "crash_occurrence": self.crash_occurrence,
+                "recovered_epoch": self.recovered_epoch,
+                "resumed_ops": self.resumed_ops,
+                "standing": dict(self.standing),
+                "stream_consistent": self.stream_consistent,
+                "probes_sent": self.probes_sent,
+                "probes_ok": self.probes_ok,
+                "faults_fired": dict(self.faults_fired),
+                "error": self.error,
+                "ok": self.ok}
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        t = self.standing
+        lines = [
+            f"standing campaign: seed={self.config.seed} "
+            f"epochs={self.config.stream_epochs} "
+            f"subs={self.config.num_subscriptions} "
+            f"ops={self.num_ops} -> {'OK' if self.ok else 'FAILED'}",
+            f"  exactness: {self.checks} checks, "
+            f"{len(self.mismatches)} mismatches, "
+            f"{len(self.event_violations)} event violations, "
+            f"stream_consistent={'y' if self.stream_consistent else 'N'}",
+            f"  crash: point={self.config.kill_point} "
+            f"occ={self.crash_occurrence} "
+            f"fired={'y' if self.crash_fired else 'N'} "
+            f"recovered_epoch={self.recovered_epoch} "
+            f"resumed={self.resumed_ops} "
+            f"replayed_events={t.get('replayed_events', 0)} "
+            f"caught_up={t.get('caught_up_events', 0)}",
+            f"  maintenance: affected={t.get('affected', 0)} "
+            f"skipped={t.get('skipped', 0)} "
+            f"added={t.get('events_added', 0)} "
+            f"removed={t.get('events_removed', 0)} "
+            f"compactions={self.compactions}",
+        ]
+        if self.probes_sent:
+            fired = sum(self.faults_fired.values())
+            lines.append(f"  probes: {self.probes_ok}/"
+                         f"{self.probes_sent} ok, "
+                         f"{fired} device faults fired")
+        if self.error:
+            lines.append(f"  ERROR: {self.error}")
+        return "\n".join(lines)
+
+
+# -- schedule -----------------------------------------------------------------
+
+
+def _materialize(cfg: StandingCampaignConfig, deltas: list
+                 ) -> tuple[SegmentArray, list[tuple]]:
+    """Fold the streamed epochs into a base + deterministic op schedule.
+
+    The first epoch's segments seed the base; every later epoch becomes
+    its departures' deletes followed by one append, with compactions
+    forced at one and two thirds of the stream so the answer-invariance
+    of folding is always exercised mid-campaign.
+    """
+    base = deltas[0].segments
+    ingested = set(np.unique(base.traj_ids).tolist())
+    compact_at = {max(1, cfg.stream_epochs // 3),
+                  max(2, 2 * cfg.stream_epochs // 3)}
+    schedule: list[tuple] = []
+    for delta in deltas[1:]:
+        for tid in delta.departures:
+            if tid in ingested:  # never emitted -> nothing to delete
+                schedule.append(("delete", int(tid)))
+        schedule.append(("append", delta.segments))
+        ingested.update(np.unique(delta.segments.traj_ids).tolist())
+        if delta.index in compact_at:
+            schedule.append(("compact",))
+    return base, schedule
+
+
+def _tracking_queries(cfg: StandingCampaignConfig, deltas: list,
+                      i: int, rng: np.random.Generator
+                      ) -> SegmentArray | None:
+    """A query trajectory shadowing a real vehicle's mid-stream chunk,
+    offset by a fraction of ``d`` — guaranteed to start matching the
+    instant that epoch's segments are ingested (every seed exercises
+    ``match_added``, not just lucky ones)."""
+    epoch = 1 + (i * max(1, len(deltas) - 2)) // max(
+        1, cfg.num_subscriptions)
+    delta = deltas[min(epoch, len(deltas) - 1)]
+    if not delta.active:
+        return None
+    tid = delta.active[i % len(delta.active)]
+    s = delta.segments
+    rows = np.flatnonzero(s.traj_ids == tid)
+    rows = rows[np.argsort(s.ts[rows])]
+    pts = np.vstack([np.column_stack(
+        (s.xs[rows], s.ys[rows], s.zs[rows])),
+        [[s.xe[rows[-1]], s.ye[rows[-1]], s.ze[rows[-1]]]]])
+    times = np.concatenate([s.ts[rows], [s.te[rows[-1]]]])
+    direction = rng.normal(size=3)
+    direction /= np.linalg.norm(direction) or 1.0
+    offset = direction * rng.uniform(0.2, 0.6) * cfg.d
+    return SegmentArray.from_trajectories(
+        [Trajectory(50_000 + i, times, pts + offset)])
+
+
+def _make_subscriptions(cfg: StandingCampaignConfig, deltas: list
+                        ) -> list[Subscription]:
+    """Seeded subscriptions spread across the stream's time axis.
+
+    Most shadow a real vehicle (see :func:`_tracking_queries`); every
+    third is an independent random walk that usually matches nothing —
+    together the set guarantees both genuine ``match_added`` churn and
+    genuine envelope skips on every seed."""
+    rng = np.random.default_rng(cfg.seed + 0x57A4D)
+    horizon = (cfg.stream_epochs * cfg.fleet.epoch_steps
+               * cfg.fleet.dt)
+    subs: list[Subscription] = []
+    for i in range(cfg.num_subscriptions):
+        queries = None
+        if i % 3 != 2:
+            queries = _tracking_queries(cfg, deltas, i, rng)
+        if queries is None:
+            t0 = horizon * i / cfg.num_subscriptions
+            span_dt = 2.0 * cfg.fleet.dt
+            queries = SegmentArray.from_trajectories(make_random_walks(
+                num_trajectories=1, num_timesteps=cfg.query_steps,
+                box_side=cfg.fleet.box_side,
+                step_sigma=cfg.query_step_sigma,
+                start_time_range=(t0, t0), dt=span_dt, rng=rng,
+                first_traj_id=50_000 + i))
+        window = None
+        if cfg.window_every and i % cfg.window_every == 1:
+            t_lo = float(queries.ts.min())
+            span = float(queries.te.max()) - t_lo
+            window = (t_lo + 0.1 * span, t_lo + 0.9 * span)
+        subs.append(Subscription(
+            sub_id=f"sub-{i:02d}", queries=queries, d=cfg.d,
+            window=window,
+            exclude_same_trajectory=(i == cfg.num_subscriptions - 1)))
+    return subs
+
+
+def _apply(service: QueryService, op: tuple) -> None:
+    if op[0] == "append":
+        service.ingest(op[1])
+    elif op[0] == "delete":
+        service.delete_trajectory(op[1])
+    else:
+        service.compact()
+
+
+# -- the client model ---------------------------------------------------------
+
+
+class _Client:
+    """A subscriber that only sees the event stream.
+
+    Folds drained ``match_added``/``match_removed`` events into its own
+    per-subscription match sets and checks each pair's life-cycle
+    (added once, removed at most once, strictly in that order) — entry
+    segment ids are never reused, so any violation is a real duplicate
+    or loss, not churn."""
+
+    def __init__(self, report: StandingCampaignReport) -> None:
+        self.report = report
+        self.last_seq = 0
+        self.matches: dict[str, dict] = {}
+        self._lifecycle: dict[tuple, str] = {}
+
+    def snapshot_initial(self, service: QueryService,
+                         subs: list[Subscription]) -> None:
+        """Adopt the registration-time answers (state, not events)."""
+        for sub in subs:
+            poll = service.poll_subscription(sub.sub_id)
+            self.matches[sub.sub_id] = {
+                (int(q), int(e)): (float(lo), float(hi))
+                for q, e, lo, hi in poll["matches"]}
+            self.last_seq = max(self.last_seq, poll["last_seq"])
+            for key in self.matches[sub.sub_id]:
+                self._lifecycle[(sub.sub_id,) + key] = "added"
+
+    def drain(self, service: QueryService) -> None:
+        """Fold every event past ``last_seq`` (crash-safe: seqs are
+        monotonic across recovery, replayed events keep their old
+        seqs and are filtered out here)."""
+        for rec in service.standing.events_since(self.last_seq):
+            self.last_seq = max(self.last_seq, int(rec["seq"]))
+            if rec["kind"] not in MATCH_KINDS:
+                continue
+            sub_id = rec["sub_id"]
+            key = (int(rec["q_id"]), int(rec["e_id"]))
+            state = self._lifecycle.get((sub_id,) + key)
+            if rec["kind"] == "match_added":
+                if state == "added":
+                    self._violation(rec, "duplicate add")
+                elif state == "removed":
+                    self._violation(rec, "re-add after remove")
+                else:
+                    self._lifecycle[(sub_id,) + key] = "added"
+                self.matches.setdefault(sub_id, {})[key] = (
+                    float(rec["t_lo"]), float(rec["t_hi"]))
+            else:
+                if state != "added":
+                    self._violation(rec, "remove without add")
+                else:
+                    self._lifecycle[(sub_id,) + key] = "removed"
+                self.matches.get(sub_id, {}).pop(key, None)
+
+    def consistent_with(self, service: QueryService,
+                        subs: list[Subscription]) -> bool:
+        """Event-folded sets == the service's maintained sets."""
+        return all(self.matches.get(sub.sub_id, {})
+                   == service.standing.matches(sub.sub_id)
+                   for sub in subs)
+
+    def _violation(self, rec: dict, why: str) -> None:
+        self.report.event_violations.append(
+            {"why": why, "seq": int(rec["seq"]),
+             "epoch": int(rec["epoch"]), "kind": rec["kind"],
+             "sub_id": rec["sub_id"], "q_id": int(rec["q_id"]),
+             "e_id": int(rec["e_id"])})
+
+
+# -- the campaign -------------------------------------------------------------
+
+
+def _check_exactness(service: QueryService, subs: list[Subscription],
+                     report: StandingCampaignReport,
+                     where: str) -> None:
+    """Every subscription's maintained answer vs a from-scratch
+    ``cpu_scan`` over the snapshot's logical database — byte identity,
+    not tolerance."""
+    logical = service.current_snapshot().logical()
+    engine = CpuScanEngine(logical)
+    for sub in subs:
+        results, _ = engine.search(
+            sub.queries, sub.d,
+            exclude_same_trajectory=sub.exclude_same_trajectory)
+        want = _result_bytes(sub.apply_window(results))
+        got = _result_bytes(service.standing.results(sub.sub_id))
+        report.checks += 1
+        if want != got:
+            report.mismatches.append(
+                {"where": where, "sub_id": sub.sub_id})
+
+
+def _probe(service: QueryService, subs: list[Subscription],
+           cfg: StandingCampaignConfig,
+           report: StandingCampaignReport, ordinal: int) -> None:
+    # A GPU engine, not "auto": the planner would route this small a
+    # database to the CPU and the injector would never see an op.
+    response = service.submit(SearchRequest(
+        queries=subs[ordinal % len(subs)].queries, d=cfg.d,
+        method="gpu_spatiotemporal", request_id=f"probe-{ordinal}"))
+    report.probes_sent += 1
+    report.probes_ok += int(response.ok)
+
+
+def _absorb_totals(report: StandingCampaignReport,
+                   service: QueryService) -> None:
+    for key, value in service.standing.totals.items():
+        report.standing[key] = report.standing.get(key, 0) + value
+
+
+def _crash_occurrence(cfg: StandingCampaignConfig,
+                      num_ops: int) -> int:
+    """Which visit of the kill point fires (see
+    :func:`repro.faults.crashes._occurrences` for the rationale)."""
+    if cfg.kill_point in ("wal_mid_append", "wal_post_append"):
+        return cfg.crash_on_op or max(2, num_ops // 2)
+    return 2 if cfg.kill_point == "checkpoint_mid" else 1
+
+
+def _service_kwargs(cfg: StandingCampaignConfig) -> dict:
+    kwargs: dict = {"auto_compact": False,
+                    "telemetry": Telemetry(enabled=False)}
+    if cfg.faults:
+        kwargs["faults"] = FaultInjector(
+            [FaultSpec(kind="h2d", rate=cfg.fault_rate),
+             FaultSpec(kind="kernel_abort", rate=cfg.fault_rate)],
+            seed=cfg.seed)
+        kwargs["retry"] = RetryPolicy(max_attempts=4, backoff_s=1e-4)
+    return kwargs
+
+
+def run_standing_campaign(cfg: StandingCampaignConfig | None = None, *,
+                          directory: str | Path | None = None
+                          ) -> StandingCampaignReport:
+    """Run one standing campaign; returns the report.
+
+    ``directory`` hosts the durability directory (a temp dir that is
+    cleaned up when None).
+    """
+    cfg = cfg or StandingCampaignConfig()
+    deltas = MovingObjectsWorkload(
+        config=cfg.fleet, seed=cfg.seed).epochs(cfg.stream_epochs)
+    base, schedule = _materialize(cfg, deltas)
+    subs = _make_subscriptions(cfg, deltas)
+    report = StandingCampaignReport(config=cfg)
+    report.num_ops = len(schedule)
+    report.compactions = sum(op[0] == "compact" for op in schedule)
+    report.crash_occurrence = _crash_occurrence(cfg, len(schedule))
+    policy = DurabilityPolicy(sync=cfg.sync,
+                              checkpoint_every=cfg.checkpoint_every)
+    owned_tmp = directory is None
+    root = Path(directory) if directory is not None \
+        else Path(tempfile.mkdtemp(prefix="standing-campaign-"))
+    run_dir = root / "durable"
+    if run_dir.exists():
+        shutil.rmtree(run_dir)
+    kill = KillSwitch(cfg.kill_point,
+                      occurrence=report.crash_occurrence)
+    service = QueryService(base, durability_dir=run_dir,
+                           durability=policy, durability_kill=kill,
+                           **_service_kwargs(cfg))
+    client = _Client(report)
+    try:
+        for sub in subs:
+            service.register_subscription(sub)
+        client.snapshot_initial(service, subs)
+        _check_exactness(service, subs, report, "registration")
+        try:
+            for i, op in enumerate(schedule, start=1):
+                _apply(service, op)
+                client.drain(service)
+                _check_exactness(service, subs, report, f"op-{i}")
+                if cfg.probe_every and i % cfg.probe_every == 0:
+                    _probe(service, subs, cfg, report, i)
+        except SimulatedCrash:
+            report.crash_fired = True
+        if report.crash_fired:
+            if cfg.faults and service.faults is not None:
+                for kind, n in service.faults.fired_by_kind.items():
+                    report.faults_fired[kind] = (
+                        report.faults_fired.get(kind, 0) + n)
+            # The crashed instance is abandoned as a dead process
+            # leaves it; only its lifetime counters are collected.
+            _absorb_totals(report, service)
+            service = QueryService.recover(
+                run_dir, policy=policy,
+                **_service_kwargs(cfg))
+            rec = service.last_recovery
+            report.recovered_epoch = rec.epoch
+            # Replayed events keep pre-crash seqs (the client saw
+            # them); catch-up events get fresh ones — drain folds
+            # exactly the delta the crash interrupted, once.
+            client.drain(service)
+            _check_exactness(service, subs, report, "recovery")
+            # Every mutation bumps the epoch by one, so the recovered
+            # epoch is the count of landed ops; resume right after.
+            for j, op in enumerate(schedule[rec.epoch:], start=1):
+                _apply(service, op)
+                report.resumed_ops += 1
+                client.drain(service)
+                _check_exactness(service, subs, report,
+                                 f"resumed-{rec.epoch + j}")
+        report.stream_consistent = client.consistent_with(service,
+                                                          subs)
+        _absorb_totals(report, service)
+        if cfg.faults and service.faults is not None:
+            for kind, n in service.faults.fired_by_kind.items():
+                report.faults_fired[kind] = (
+                    report.faults_fired.get(kind, 0) + n)
+        service.shutdown()
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        report.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        if owned_tmp:
+            shutil.rmtree(root, ignore_errors=True)
+    return report

@@ -1,0 +1,598 @@
+"""Delta-aware maintenance of standing queries across ingest epochs.
+
+:class:`StandingQueryManager` owns the registered
+:class:`~repro.standing.subscription.Subscription`\\ s and one maintained
+match set per subscription.  After every database mutation the owner
+calls :meth:`process_epoch` with the new snapshot and the mutation's
+delta; the manager decides which subscriptions are *affected*:
+
+* **append** — subscriptions whose
+  :class:`~repro.standing.subscription.CandidateEnvelope` intersects
+  the appended segments.  New rows can only *add* matches, and only
+  matches touching the new rows, so an envelope miss proves the answer
+  unchanged.
+* **delete** — subscriptions currently holding a match whose entry
+  segment belongs to the deleted trajectory.  A delete can only
+  *remove* matches, and only those.
+* **compact** — nobody.  Compaction preserves
+  :meth:`~repro.ingest.versioned.Snapshot.logical` exactly (the
+  differential harness pins this), so answers cannot change.
+
+Affected subscriptions are re-evaluated against the pinned snapshot via
+the same base-engine + overlay path one-shot queries use; the diff
+against the maintained set becomes typed ``match_added`` /
+``match_removed`` events, stamped with the epoch and a monotonic
+``seq``.  The exactness harness (``tests/test_standing_exactness.py``)
+replays workloads asserting the maintained sets stay byte-identical to
+from-scratch ``cpu_scan`` evaluation at every epoch — the skip
+decision above is load-bearing correctness, not best-effort caching.
+
+With a :class:`~repro.standing.store.StandingStore` attached, events
+are durably appended *before* they are applied (WAL discipline) and
+:meth:`recover` restores state + replays the event tail + runs an
+idempotent catch-up diff, so subscriptions survive service crashes
+with no lost or duplicated delta events.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.search import SearchOutcome
+from ..engines.base import Deadline
+from ..engines.cpu_scan import CpuScanEngine
+from ..gpu.costmodel import CpuCostModel
+from ..ingest.overlay import overlay_search
+from ..ingest.versioned import Snapshot
+from ..obs import Telemetry
+from .store import StandingStore
+from .subscription import (CandidateEnvelope, MatchDict, Subscription,
+                           matches_from_results, matches_from_rows,
+                           matches_to_rows, results_from_matches)
+
+__all__ = ["EpochReport", "StandingPolicy", "StandingQueryManager"]
+
+#: epoch kinds :meth:`StandingQueryManager.process_epoch` accepts.
+EPOCH_KINDS = ("append", "delete", "compact")
+
+
+@dataclass(frozen=True)
+class StandingPolicy:
+    """Knobs for the per-epoch maintenance pass.
+
+    Parameters
+    ----------
+    epoch_deadline_s:
+        Wall budget for one epoch's re-evaluations.  Subscriptions not
+        reached before it expires are carried over to the next epoch
+        (their match sets go stale until then) and the overrun is
+        counted — maintenance must never wedge the ingest path.  None
+        (default) disables the budget, which is what the exactness
+        harness runs with: every epoch fully settled.
+    defer_on_pressure:
+        When the owner reports queue pressure (the same signal that
+        sheds one-shot requests), defer the whole epoch's
+        re-evaluations instead of running them.  Deferred work is
+        carried over and settled on the next epoch or an explicit
+        :meth:`StandingQueryManager.flush`.  Off by default.
+    """
+
+    epoch_deadline_s: float | None = None
+    defer_on_pressure: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epoch_deadline_s is not None \
+                and self.epoch_deadline_s <= 0:
+            raise ValueError("epoch_deadline_s must be positive")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"epoch_deadline_s": self.epoch_deadline_s,
+                "defer_on_pressure": self.defer_on_pressure}
+
+
+@dataclass
+class EpochReport:
+    """What one maintenance pass did (returned to the owner)."""
+
+    epoch: int
+    kind: str
+    #: registered subscriptions when the pass ran.
+    total: int
+    #: sub_ids re-evaluated this pass (sorted).
+    affected: list[str] = field(default_factory=list)
+    #: subscriptions proven unaffected and skipped.
+    skipped: int = 0
+    #: sub_ids pushed to the next epoch (pressure or deadline).
+    deferred: list[str] = field(default_factory=list)
+    events_added: int = 0
+    events_removed: int = 0
+    overran_deadline: bool = False
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"epoch": self.epoch, "kind": self.kind,
+                "total": self.total, "affected": list(self.affected),
+                "skipped": self.skipped,
+                "deferred": list(self.deferred),
+                "events_added": self.events_added,
+                "events_removed": self.events_removed,
+                "overran_deadline": self.overran_deadline,
+                "wall_seconds": self.wall_seconds}
+
+
+class StandingQueryManager:
+    """Registered subscriptions + maintained match sets + delta events.
+
+    Parameters
+    ----------
+    policy:
+        :class:`StandingPolicy` (default: fully-settled epochs).
+    store:
+        Optional :class:`~repro.standing.store.StandingStore`; with one
+        attached, registrations and match deltas are durable and
+        :meth:`recover` works.
+    telemetry:
+        The owning service's :class:`~repro.obs.Telemetry` hub; match
+        events and per-epoch summaries land in its event log, counters
+        in its metrics registry.  None = no telemetry.
+    events_maxlen:
+        Bound on the in-memory delta-event buffer served by
+        :meth:`events_since` / :meth:`poll`.
+    """
+
+    def __init__(self, *, policy: StandingPolicy | None = None,
+                 store: StandingStore | None = None,
+                 telemetry: Telemetry | None = None,
+                 events_maxlen: int = 100_000) -> None:
+        self.policy = policy or StandingPolicy()
+        self.store = store
+        self.telemetry = telemetry
+        self.subscriptions: dict[str, Subscription] = {}
+        self._envelopes: dict[str, CandidateEnvelope] = {}
+        self._matches: dict[str, MatchDict] = {}
+        self._carryover: set[str] = set()
+        self._seq = 0
+        self._events_maxlen = int(events_maxlen)
+        self._delta_log: list[dict] = []
+        self._base_engine_cache: tuple[int, CpuScanEngine] | None = None
+        self._cpu_model = CpuCostModel()
+        self.last_report: EpochReport | None = None
+        #: lifetime counters (mirrored into telemetry when attached).
+        self.totals = {
+            "epochs": 0, "delta_epochs": 0, "affected": 0,
+            "skipped": 0, "events_added": 0, "events_removed": 0,
+            "deferred": 0, "deadline_overruns": 0, "recoveries": 0,
+            "replayed_events": 0, "caught_up_events": 0,
+            "torn_events": 0,
+        }
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, sub: Subscription, snapshot: Snapshot) -> dict:
+        """Register a subscription and settle its initial match set
+        against ``snapshot``.
+
+        The initial matches are *state*, not deltas: no
+        ``match_added`` events fire for them — the event stream reports
+        changes after registration, and :meth:`poll` always returns the
+        full current set.
+        """
+        if sub.sub_id in self.subscriptions:
+            raise ValueError(f"subscription {sub.sub_id!r} is already "
+                             f"registered")
+        matches = self._evaluate(sub, snapshot)
+        self.subscriptions[sub.sub_id] = sub
+        self._envelopes[sub.sub_id] = sub.envelope()
+        self._matches[sub.sub_id] = matches
+        self._persist_state(snapshot.epoch)
+        self._emit_event("subscription_registered", sub_id=sub.sub_id,
+                         epoch=snapshot.epoch, matches=len(matches))
+        self._set_gauge()
+        return {"sub_id": sub.sub_id, "epoch": snapshot.epoch,
+                "matches": len(matches)}
+
+    def unregister(self, sub_id: str, *, epoch: int) -> dict:
+        """Drop a subscription (its match set and pending carryover go
+        with it)."""
+        if sub_id not in self.subscriptions:
+            raise KeyError(f"no subscription {sub_id!r}")
+        matches = len(self._matches.get(sub_id, ()))
+        del self.subscriptions[sub_id]
+        self._envelopes.pop(sub_id, None)
+        self._matches.pop(sub_id, None)
+        self._carryover.discard(sub_id)
+        self._persist_state(epoch)
+        self._emit_event("subscription_unregistered", sub_id=sub_id,
+                         epoch=epoch, matches=matches)
+        self._set_gauge()
+        return {"sub_id": sub_id, "epoch": epoch, "matches": matches}
+
+    # -- reads --------------------------------------------------------------------
+
+    def matches(self, sub_id: str) -> MatchDict:
+        """The maintained match set (a copy) for one subscription."""
+        return dict(self._matches[sub_id])
+
+    def results(self, sub_id: str):
+        """The maintained answer as a canonical
+        :class:`~repro.core.result.ResultSet`."""
+        return results_from_matches(self._matches[sub_id])
+
+    def events_since(self, seq: int, *, sub_id: str | None = None
+                     ) -> list[dict]:
+        """Buffered delta events with ``seq`` strictly greater than
+        ``seq`` (optionally for one subscription), oldest first."""
+        out = [dict(rec) for rec in self._delta_log
+               if rec["seq"] > seq
+               and (sub_id is None or rec["sub_id"] == sub_id)]
+        return out
+
+    def poll(self, sub_id: str, *, since_seq: int = -1) -> dict:
+        """One subscription's current answer + its delta events after
+        ``since_seq`` — the client-facing read."""
+        if sub_id not in self.subscriptions:
+            raise KeyError(f"no subscription {sub_id!r}")
+        return {
+            "sub_id": sub_id,
+            "matches": matches_to_rows(self._matches[sub_id]),
+            "events": self.events_since(since_seq, sub_id=sub_id),
+            "last_seq": self._seq,
+            "pending": sub_id in self._carryover,
+        }
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    @property
+    def pending(self) -> list[str]:
+        """sub_ids whose re-evaluation is carried over (stale)."""
+        return sorted(self._carryover)
+
+    def stats(self) -> dict:
+        """JSON-friendly counters for dashboards and reports."""
+        out = {"subscriptions": len(self.subscriptions),
+               "pending": len(self._carryover),
+               "last_seq": self._seq}
+        out.update(self.totals)
+        if self.store is not None:
+            out["store_events_appended"] = self.store.events_appended
+            out["store_state_saves"] = self.store.state_saves
+        return out
+
+    # -- the per-epoch pass -------------------------------------------------------
+
+    def process_epoch(self, snapshot: Snapshot, kind: str, *,
+                      appended=None, deleted_traj: int | None = None,
+                      pressure: bool = False) -> EpochReport:
+        """Settle all subscriptions against one new epoch.
+
+        Parameters
+        ----------
+        snapshot:
+            The post-mutation snapshot (``snapshot.epoch`` stamps the
+            events).
+        kind:
+            ``"append"`` / ``"delete"`` / ``"compact"``.
+        appended:
+            The appended :class:`~repro.core.types.SegmentArray`
+            (required for ``"append"``); geometry only — seg_ids need
+            not be stamped.
+        deleted_traj:
+            The tombstoned trajectory id (required for ``"delete"``).
+        pressure:
+            Owner-reported queue pressure; with
+            ``policy.defer_on_pressure`` the pass is deferred whole.
+        """
+        if kind not in EPOCH_KINDS:
+            raise ValueError(f"unknown epoch kind {kind!r}")
+        if kind == "append" and appended is None:
+            raise ValueError("append epoch needs the appended segments")
+        if kind == "delete" and deleted_traj is None:
+            raise ValueError("delete epoch needs the deleted traj id")
+        wall0 = time.perf_counter()
+        affected = self._affected(snapshot, kind, appended,
+                                  deleted_traj)
+        todo = sorted(set(affected) | self._carryover)
+        self._carryover.clear()
+        report = EpochReport(epoch=snapshot.epoch, kind=kind,
+                             total=len(self.subscriptions),
+                             skipped=len(self.subscriptions)
+                             - len(todo))
+        if pressure and self.policy.defer_on_pressure and todo:
+            self._carryover.update(todo)
+            report.deferred = todo
+            report.wall_seconds = time.perf_counter() - wall0
+            self.totals["deferred"] += len(todo)
+            self._count("repro_standing_deferred_total", len(todo))
+            self._finish_report(report)
+            return report
+        deadline = (Deadline.after(self.policy.epoch_deadline_s)
+                    if self.policy.epoch_deadline_s is not None
+                    else None)
+        settled: list[str] = []
+        for i, sub_id in enumerate(todo):
+            if deadline is not None and deadline.expired:
+                late = todo[i:]
+                self._carryover.update(late)
+                report.deferred = late
+                report.overran_deadline = True
+                self.totals["deadline_overruns"] += 1
+                self.totals["deferred"] += len(late)
+                self._count("repro_standing_deadline_overruns_total", 1)
+                self._count("repro_standing_deferred_total", len(late))
+                break
+            settled.append(sub_id)
+        added, removed = self._settle(settled, snapshot)
+        report.affected = settled
+        report.events_added = added
+        report.events_removed = removed
+        report.wall_seconds = time.perf_counter() - wall0
+        self.totals["affected"] += len(settled)
+        self.totals["skipped"] += report.skipped
+        self._count("repro_standing_affected_total", len(settled))
+        self._count("repro_standing_skipped_total", report.skipped)
+        self._finish_report(report)
+        return report
+
+    def flush(self, snapshot: Snapshot) -> EpochReport:
+        """Settle all carried-over subscriptions now (no new delta).
+
+        The owner calls this after pressure subsides, before shutdown,
+        and whenever a client needs a fully-settled answer under a
+        deferring policy.
+        """
+        wall0 = time.perf_counter()
+        todo = sorted(self._carryover)
+        self._carryover.clear()
+        report = EpochReport(epoch=snapshot.epoch, kind="flush",
+                             total=len(self.subscriptions),
+                             skipped=len(self.subscriptions)
+                             - len(todo))
+        added, removed = self._settle(todo, snapshot)
+        report.affected = todo
+        report.events_added = added
+        report.events_removed = removed
+        report.wall_seconds = time.perf_counter() - wall0
+        self.totals["affected"] += len(todo)
+        self._count("repro_standing_affected_total", len(todo))
+        self._finish_report(report)
+        return report
+
+    # -- durability ---------------------------------------------------------------
+
+    def checkpoint(self, epoch: int) -> None:
+        """Fold the durable event log into the durable state (no-op
+        without a store)."""
+        if self.store is not None:
+            self.store.checkpoint(self._state_dict(epoch))
+
+    def recover(self, snapshot: Snapshot) -> dict:
+        """Restore subscriptions from the sidecar and settle them
+        against the recovered snapshot.
+
+        Three steps: load the last saved state; replay durable events
+        with ``seq`` beyond it; then re-evaluate every subscription
+        against ``snapshot`` and emit the difference as fresh events.
+        The catch-up is idempotent — standing processing runs
+        synchronously after each mutation, so the sidecar lags the
+        database by at most one epoch, and for an already-settled epoch
+        the diff is empty.  Catch-up events are stamped with the
+        recovered epoch: the same epoch an uninterrupted run would have
+        stamped them with.
+        """
+        if self.store is None:
+            raise RuntimeError("recover() needs a StandingStore")
+        if self.subscriptions:
+            raise RuntimeError("recover() must run on an empty manager")
+        state, events, torn = self.store.load()
+        folded_seq = 0
+        if state is not None:
+            folded_seq = int(state["last_seq"])
+            self._seq = folded_seq
+            for entry in state["subscriptions"]:
+                sub = Subscription.from_dict(entry["sub"])
+                self.subscriptions[sub.sub_id] = sub
+                self._envelopes[sub.sub_id] = sub.envelope()
+                self._matches[sub.sub_id] = matches_from_rows(
+                    entry["matches"])
+        replayed = 0
+        for rec in sorted(events, key=lambda r: int(r["seq"])):
+            if int(rec["seq"]) <= folded_seq:
+                continue  # already folded into the state
+            self._apply_record(rec)
+            self._buffer(rec)
+            self._seq = max(self._seq, int(rec["seq"]))
+            replayed += 1
+        # Registration is save_state'd, so a replayed event's sub is
+        # always present; an unregistered sub's events were dropped
+        # with it.  Discard strays defensively.
+        caught_added, caught_removed = self._settle(
+            sorted(self.subscriptions), snapshot)
+        self.checkpoint(snapshot.epoch)
+        self.totals["recoveries"] += 1
+        self.totals["replayed_events"] += replayed
+        self.totals["caught_up_events"] += caught_added + caught_removed
+        self.totals["torn_events"] += torn
+        self._count("repro_standing_recoveries_total", 1)
+        self._set_gauge()
+        summary = {"subscriptions": len(self.subscriptions),
+                   "replayed_events": replayed, "torn_events": torn,
+                   "caught_up_events": caught_added + caught_removed,
+                   "epoch": snapshot.epoch}
+        self._emit_event("standing_recovered", **summary)
+        return summary
+
+    # -- internals ----------------------------------------------------------------
+
+    def _affected(self, snapshot: Snapshot, kind: str, appended,
+                  deleted_traj: int | None) -> list[str]:
+        """Which subscriptions could this epoch's delta have changed?"""
+        if kind == "compact" or not self.subscriptions:
+            return []
+        if kind == "append":
+            return [sub_id for sub_id in sorted(self.subscriptions)
+                    if self._envelopes[sub_id].intersects(appended)]
+        doomed = set(
+            snapshot.seg_ids_of_trajectory(deleted_traj).tolist())
+        return [sub_id for sub_id in sorted(self.subscriptions)
+                if any(e in doomed
+                       for (_q, e) in self._matches[sub_id])]
+
+    def _base_engine(self, snapshot: Snapshot) -> CpuScanEngine:
+        """Brute-force engine over the snapshot's base, cached per base
+        version (the base only changes at compaction)."""
+        cached = self._base_engine_cache
+        if cached is None or cached[0] != snapshot.base_version:
+            cached = (snapshot.base_version,
+                      CpuScanEngine(snapshot.base))
+            self._base_engine_cache = cached
+        return cached[1]
+
+    def _evaluate(self, sub: Subscription,
+                  snapshot: Snapshot) -> MatchDict:
+        """One subscription's exact answer at ``snapshot``: base scan,
+        lifted through the overlay (tombstone filter + delta scan),
+        clipped to the window."""
+        engine = self._base_engine(snapshot)
+        results, profile = engine.search(
+            sub.queries, sub.d,
+            exclude_same_trajectory=sub.exclude_same_trajectory)
+        outcome = SearchOutcome(
+            results=results, profile=profile,
+            modeled=profile.modeled_time(self._cpu_model))
+        outcome, _ = overlay_search(
+            outcome, snapshot, sub.queries, sub.d,
+            exclude_same_trajectory=sub.exclude_same_trajectory,
+            cpu_model=self._cpu_model)
+        return matches_from_results(sub.apply_window(outcome.results))
+
+    def _settle(self, sub_ids: list[str], snapshot: Snapshot
+                ) -> tuple[int, int]:
+        """Re-evaluate ``sub_ids`` at ``snapshot``, diff against the
+        maintained sets, and emit the deltas.  Returns
+        ``(added, removed)`` event counts.
+
+        Write ordering is load-bearing: all records are built first,
+        durably appended second, applied in memory third — a crash
+        leaves either no trace (catch-up re-derives the diff) or a
+        durable record replay will re-apply.  Acknowledged events are
+        never lost and never double-applied.
+        """
+        records: list[dict] = []
+        fresh: dict[str, MatchDict] = {}
+        wall0 = time.perf_counter()
+        for sub_id in sub_ids:
+            sub = self.subscriptions[sub_id]
+            new = self._evaluate(sub, snapshot)
+            fresh[sub_id] = new
+            old = self._matches[sub_id]
+            for key in sorted(k for k in old if k not in new):
+                lo, hi = old[key]
+                records.append(self._record("match_removed", sub_id,
+                                            snapshot.epoch, key, lo,
+                                            hi))
+            for key in sorted(k for k in new if k not in old):
+                lo, hi = new[key]
+                records.append(self._record("match_added", sub_id,
+                                            snapshot.epoch, key, lo,
+                                            hi))
+        if self.store is not None:
+            self.store.append_events(records)
+        added = removed = 0
+        for sub_id, new in fresh.items():
+            self._matches[sub_id] = new
+        for rec in records:
+            self._buffer(rec)
+            self._emit_event(rec["kind"],
+                             **{k: v for k, v in rec.items()
+                                if k != "kind"})
+            if rec["kind"] == "match_added":
+                added += 1
+            else:
+                removed += 1
+        if sub_ids:
+            self._observe("repro_standing_settle_seconds",
+                          time.perf_counter() - wall0)
+        self.totals["events_added"] += added
+        self.totals["events_removed"] += removed
+        if added:
+            self._count("repro_standing_match_events_total", added,
+                        kind="match_added")
+        if removed:
+            self._count("repro_standing_match_events_total", removed,
+                        kind="match_removed")
+        return added, removed
+
+    def _record(self, kind: str, sub_id: str, epoch: int,
+                key: tuple[int, int], lo: float, hi: float) -> dict:
+        self._seq += 1
+        return {"seq": self._seq, "epoch": int(epoch), "kind": kind,
+                "sub_id": sub_id, "q_id": int(key[0]),
+                "e_id": int(key[1]), "t_lo": float(lo),
+                "t_hi": float(hi)}
+
+    def _apply_record(self, rec: dict) -> None:
+        """Apply one durable event record to the match sets (replay)."""
+        matches = self._matches.get(rec["sub_id"])
+        if matches is None:
+            return
+        key = (int(rec["q_id"]), int(rec["e_id"]))
+        if rec["kind"] == "match_added":
+            matches[key] = (float(rec["t_lo"]), float(rec["t_hi"]))
+        elif rec["kind"] == "match_removed":
+            matches.pop(key, None)
+
+    def _buffer(self, rec: dict) -> None:
+        self._delta_log.append(rec)
+        if len(self._delta_log) > self._events_maxlen:
+            del self._delta_log[:len(self._delta_log)
+                                - self._events_maxlen]
+
+    def _state_dict(self, epoch: int) -> dict:
+        return {
+            "last_seq": self._seq,
+            "epoch": int(epoch),
+            "subscriptions": [
+                {"sub": self.subscriptions[sub_id].to_dict(),
+                 "matches": matches_to_rows(self._matches[sub_id])}
+                for sub_id in sorted(self.subscriptions)],
+        }
+
+    def _persist_state(self, epoch: int) -> None:
+        if self.store is not None:
+            self.store.save_state(self._state_dict(epoch))
+
+    def _finish_report(self, report: EpochReport) -> None:
+        self.last_report = report
+        self.totals["epochs"] += 1
+        if report.kind in ("append", "delete"):
+            self.totals["delta_epochs"] += 1
+        self._observe("repro_standing_epoch_seconds",
+                      report.wall_seconds)
+        fields = report.to_dict()
+        fields["epoch_kind"] = fields.pop("kind")
+        self._emit_event("standing_epoch", **fields)
+
+    # -- telemetry plumbing -------------------------------------------------------
+
+    def _emit_event(self, kind: str, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.events.emit(kind, **fields)
+
+    def _count(self, name: str, amount: float, **labels) -> None:
+        if self.telemetry is not None and amount:
+            self.telemetry.metrics.counter(name).inc(amount, **labels)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.histogram(name).observe(value)
+
+    def _set_gauge(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.gauge(
+                "repro_standing_subscriptions").set(
+                len(self.subscriptions))

@@ -1,0 +1,172 @@
+"""Durable sidecar for standing-query state.
+
+Standing subscriptions and their maintained match sets must survive
+:meth:`QueryService.recover`, but they deliberately do **not** ride the
+database WAL: a standing record interleaved there would break the
+epoch-continuity check replay enforces (every database record must
+produce ``epoch + 1``).  Instead the standing layer keeps its own two
+files next to the database's ``wal/`` and ``checkpoints/``:
+
+.. code-block:: text
+
+    standing/
+        state.json      # atomic snapshot: subscriptions + match sets
+        events.jsonl    # fsync'd append log of match delta events
+
+The discipline mirrors the database's WAL-before-apply rule: match
+delta events are appended (and fsync'd) *before* they are applied to
+the in-memory match sets, so a crash can lose at most work that was
+never acknowledged — never acknowledged work.  ``state.json`` is
+written with the same tmp-file + ``os.replace`` + directory-fsync
+pattern as checkpoints; a crash mid-save leaves the previous state
+intact.  :meth:`StandingStore.checkpoint` folds the event log into the
+state and truncates it, bounding replay work exactly like WAL
+truncation does for the database.
+
+Recovery reads the state, replays events with ``seq`` greater than the
+state's ``last_seq``, and the manager then runs an idempotent catch-up
+diff against the recovered snapshot (see
+:meth:`~repro.standing.manager.StandingQueryManager.recover`) — the
+sidecar can lag the database by at most the one epoch whose standing
+processing the crash interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..durability.checkpoint import _fsync_dir
+
+__all__ = ["StandingStore", "StandingStoreError"]
+
+STATE_NAME = "state.json"
+EVENTS_NAME = "events.jsonl"
+#: state schema version (bump on incompatible layout changes).
+FORMAT_VERSION = 1
+
+
+class StandingStoreError(RuntimeError):
+    """A standing sidecar that cannot be loaded."""
+
+
+class StandingStore:
+    """The two-file durable sidecar (see module docstring).
+
+    Parameters
+    ----------
+    directory:
+        The ``standing/`` directory (created if missing).
+    sync:
+        fsync event appends and state writes (the default; tests that
+        only need the format can turn it off for speed).
+    """
+
+    def __init__(self, directory: str | Path, *,
+                 sync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.state_path = self.directory / STATE_NAME
+        self.events_path = self.directory / EVENTS_NAME
+        self.sync = bool(sync)
+        #: lifetime write counters (surfaced through manager stats).
+        self.events_appended = 0
+        self.state_saves = 0
+
+    # -- reads --------------------------------------------------------------------
+
+    def load(self) -> tuple[dict | None, list[dict], int]:
+        """``(state, events, torn_lines)``.
+
+        ``state`` is None when no state was ever saved.  Events are
+        returned in file order with corrupt/torn lines skipped and
+        counted — the final line of an interrupted append is the
+        expected casualty, and dropping it is correct because an event
+        that never became durable was never acknowledged.
+        A corrupt ``state.json`` raises: state writes are atomic, so
+        corruption there is damage, not a crash artifact.
+        """
+        state: dict | None = None
+        if self.state_path.exists():
+            try:
+                state = json.loads(self.state_path.read_text())
+            except (json.JSONDecodeError, OSError) as exc:
+                raise StandingStoreError(
+                    f"standing state {self.state_path} is unreadable: "
+                    f"{exc}") from exc
+            if state.get("format") != FORMAT_VERSION:
+                raise StandingStoreError(
+                    f"standing state format "
+                    f"{state.get('format')!r} != {FORMAT_VERSION}")
+        events: list[dict] = []
+        torn = 0
+        if self.events_path.exists():
+            for line in self.events_path.read_text().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    rec = json.loads(line)
+                    if not isinstance(rec, dict) or "seq" not in rec:
+                        raise ValueError("not an event record")
+                except (json.JSONDecodeError, ValueError):
+                    torn += 1
+                    continue
+                events.append(rec)
+        return state, events, torn
+
+    # -- writes -------------------------------------------------------------------
+
+    def append_events(self, records: list[dict]) -> None:
+        """Durably append event records (one JSON line each).
+
+        Called *before* the events are applied in memory — the
+        WAL-before-apply discipline.
+        """
+        if not records:
+            return
+        with open(self.events_path, "a", encoding="utf-8") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec) + "\n")
+            fh.flush()
+            if self.sync:
+                os.fsync(fh.fileno())
+        self.events_appended += len(records)
+
+    def save_state(self, state: dict) -> None:
+        """Atomically replace ``state.json`` (tmp + fsync +
+        ``os.replace`` + directory fsync)."""
+        payload = dict(state)
+        payload["format"] = FORMAT_VERSION
+        data = json.dumps(payload).encode()
+        tmp = self.state_path.with_name(".tmp-" + STATE_NAME)
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if self.sync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.state_path)
+        if self.sync:
+            _fsync_dir(self.directory)
+        self.state_saves += 1
+
+    def truncate_events(self) -> None:
+        """Atomically empty the event log (its content is folded into
+        the state by the caller first)."""
+        tmp = self.events_path.with_name(".tmp-" + EVENTS_NAME)
+        with open(tmp, "wb") as fh:
+            fh.flush()
+            if self.sync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.events_path)
+        if self.sync:
+            _fsync_dir(self.directory)
+
+    def checkpoint(self, state: dict) -> None:
+        """Fold: save the state, then truncate the event log.
+
+        Crash between the two steps is safe — the events still in the
+        log carry ``seq <= state["last_seq"]`` and replay skips them.
+        """
+        self.save_state(state)
+        self.truncate_events()

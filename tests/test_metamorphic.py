@@ -21,9 +21,15 @@ miss (wrong axis, missing d-expansion, off-by-one bin shifts).
 import numpy as np
 import pytest
 
-from repro.core.types import SegmentArray
+from repro.core.bruteforce import brute_force_search
+from repro.core.search import SearchOutcome
+from repro.core.types import SegmentArray, Trajectory
 from repro.engines import (CpuRTreeEngine, GpuSpatialEngine,
                            GpuSpatioTemporalEngine, GpuTemporalEngine)
+from repro.engines.cpu_scan import CpuScanEngine
+from repro.gpu.costmodel import CpuCostModel
+from repro.ingest import (IngestError, VersionedDatabase,
+                          overlay_search)
 from tests.conftest import make_walk_trajectories
 
 FACTORIES = {
@@ -136,3 +142,130 @@ class TestMonotonicity:
         kept = set(half_q.seg_ids.tolist())
         expect = {(a, b) for a, b in full.pairs() if a in kept}
         assert half.pairs() == expect
+
+
+# -- overlay under churn ------------------------------------------------------
+
+
+def _segs(num_traj=4, steps=8, seed=0, id_offset=0, traj_id=None):
+    trajs = make_walk_trajectories(num_traj, steps, seed=seed,
+                                   box=15.0)
+    relabel = (lambda t: traj_id) if traj_id is not None \
+        else (lambda t: t.traj_id + id_offset)
+    return SegmentArray.from_trajectories(
+        [Trajectory(relabel(t), t.times, t.positions)
+         for t in trajs])
+
+
+def _overlay_answer(vdb, queries, d):
+    """The serving path's answer at the current snapshot: base scan
+    lifted through the tombstone filter + delta overlay."""
+    snap = vdb.snapshot()
+    engine = CpuScanEngine(snap.base)
+    results, profile = engine.search(queries, d)
+    outcome = SearchOutcome(
+        results=results, profile=profile,
+        modeled=profile.modeled_time(CpuCostModel()))
+    outcome, _ = overlay_search(outcome, snap, queries, d)
+    return outcome.results
+
+
+def _logical_key(vdb, results):
+    """Order- and seg_id-assignment-independent identity of a result
+    set: entry segments named by (trajectory, segment start time)
+    instead of their database-assigned ids."""
+    logical = vdb.snapshot().logical()
+    ident = {int(s): (int(t), float(ts)) for s, t, ts in
+             zip(logical.seg_ids, logical.traj_ids, logical.ts)}
+    c = results.canonical()
+    return sorted(
+        (int(q),) + ident[int(e)] + (float(lo), float(hi))
+        for q, e, lo, hi in zip(c.q_ids, c.e_ids, c.t_lo, c.t_hi))
+
+
+class TestOverlayChurnMetamorphic:
+    """The overlay must equal from-scratch evaluation under any mix of
+    ingest, delete, compaction, and (post-compaction) re-ingest of a
+    previously deleted trajectory id — including the tombstone
+    edge cases around id re-use."""
+
+    D = 2.0
+
+    @pytest.fixture()
+    def queries(self):
+        return _segs(num_traj=2, steps=6, seed=91, id_offset=9000)
+
+    def check(self, vdb, queries):
+        got = _overlay_answer(vdb, queries, self.D)
+        truth = brute_force_search(queries,
+                                   vdb.snapshot().logical(), self.D)
+        assert got.equivalent_to(truth)
+
+    def test_overlay_exact_at_every_step_of_mixed_churn(self, queries):
+        vdb = VersionedDatabase(_segs(num_traj=8, seed=1))
+        rng = np.random.default_rng(5)
+        offset = 100
+        for i in range(12):
+            kind = ("append", "delete", "append", "compact")[i % 4]
+            if kind == "append":
+                vdb.append(_segs(num_traj=2, seed=40 + i,
+                                 id_offset=offset))
+                offset += 10
+            elif kind == "delete":
+                live = sorted(set(np.unique(
+                    vdb.snapshot().logical().traj_ids).tolist()))
+                vdb.delete_trajectory(
+                    int(live[int(rng.integers(len(live) - 1))]))
+            else:
+                vdb.compact()
+            self.check(vdb, queries)
+
+    def test_disjoint_appends_commute(self, queries):
+        a = _segs(num_traj=2, seed=50, id_offset=100)
+        b = _segs(num_traj=2, seed=60, id_offset=200)
+        ab = VersionedDatabase(_segs(num_traj=6, seed=2))
+        ab.append(a), ab.append(b)
+        ba = VersionedDatabase(_segs(num_traj=6, seed=2))
+        ba.append(b), ba.append(a)
+        key_ab = _logical_key(ab, _overlay_answer(ab, queries, self.D))
+        key_ba = _logical_key(ba, _overlay_answer(ba, queries, self.D))
+        assert key_ab == key_ba
+        self.check(ab, queries)
+        self.check(ba, queries)
+
+    def test_delete_then_reinsert_same_id(self, queries):
+        """The tombstone-reuse edge: re-appending a deleted id is
+        rejected until compaction physically drops the old rows, and
+        afterwards the overlay serves exactly the new geometry."""
+        vdb = VersionedDatabase(_segs(num_traj=6, seed=3))
+        vdb.delete_trajectory(0)
+        self.check(vdb, queries)
+        # Pre-compaction re-use would be silently hidden by the
+        # tombstone, so it must raise instead.
+        with pytest.raises(IngestError):
+            vdb.append(_segs(num_traj=1, seed=70, traj_id=0))
+        self.check(vdb, queries)
+        vdb.compact()
+        reborn = _segs(num_traj=1, seed=70, traj_id=0)
+        vdb.append(reborn)
+        self.check(vdb, queries)
+        # The resurrected id serves its new geometry: every pair the
+        # referee finds for trajectory 0 comes from the new segments.
+        logical = vdb.snapshot().logical()
+        rows = logical.traj_ids == 0
+        assert np.array_equal(np.sort(logical.ts[rows]),
+                              np.sort(reborn.ts))
+        # And a later delete of the reborn id works normally.
+        vdb.delete_trajectory(0)
+        self.check(vdb, queries)
+
+    def test_double_delete_is_noop(self, queries):
+        vdb = VersionedDatabase(_segs(num_traj=6, seed=4))
+        assert vdb.delete_trajectory(1) > 0
+        before = _overlay_answer(vdb, queries, self.D).canonical()
+        epoch = vdb.epoch
+        assert vdb.delete_trajectory(1) == 0
+        assert vdb.epoch == epoch  # a no-op must not burn an epoch
+        after = _overlay_answer(vdb, queries, self.D).canonical()
+        assert before.equivalent_to(after)
+        self.check(vdb, queries)

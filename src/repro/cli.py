@@ -28,6 +28,12 @@ standing   run the standing-query exactness campaign: continuous
            subscriptions over a streaming fleet, compactions and a
            mid-stream crash + recovery, every epoch's incremental
            answer pinned byte-identical to from-scratch evaluation
+overload   run the seeded overload campaign against the admission-
+           controlled gateway: many tenants storm the front door,
+           refusals stay typed with retry hints, keyed mutations are
+           retried blind (including across a crash + recovery) and
+           apply exactly once, every answered search byte-identical
+           to a cpu_scan referee
 shard      serve query batches through a sharded, replicated service
            (scatter-gather merges checked against a whole-database
            referee; --kill-shard demonstrates partial answers and
@@ -52,6 +58,8 @@ python -m repro chaos --seed 7 --requests 200 --rate 0.15
 python -m repro chaos --seed 7 --requests 120 --shards 3 \\
     --kill-shard-every 11
 python -m repro standing --seed 7 --epochs 16 --subs 6 --json
+python -m repro overload --seed 7 --bursts 10 \\
+    --bench-out benchmarks/BENCH_gateway.json
 python -m repro shard merger.npz --d 1.5 --shards 3 --replicas 2 \\
     --kill-shard 1 --recover
 python -m repro ingest merger.npz --d 1.5 --rounds 6 \\
@@ -321,6 +329,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON instead of the "
                         "rendered summary")
+
+    p = sub.add_parser(
+        "overload", help="run the seeded overload campaign against "
+                         "the admission-controlled gateway: tenant "
+                         "rate limits, priority shedding, brownout, "
+                         "idempotent retries across a crash, and a "
+                         "byte-identical cpu_scan referee")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed: dataset, tenants, arrival "
+                        "schedule, and fault activations all derive "
+                        "from it")
+    p.add_argument("--bursts", type=int, default=10,
+                   help="arrival bursts to drive (default 10)")
+    p.add_argument("--queue-depth", type=int, default=5,
+                   help="per-priority admission queue depth "
+                        "(default 5; the interactive flood "
+                        "deliberately exceeds it)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON instead of the "
+                        "rendered summary")
+    p.add_argument("--bench-out", default=None, metavar="PATH",
+                   help="merge this run's modeled latency/outcome "
+                        "entry (keyed by seed) into a benchmark JSON "
+                        "file")
 
     p = sub.add_parser(
         "checkpoint", help="force a durable checkpoint of a "
@@ -803,6 +835,35 @@ def cmd_standing(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_overload(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .gateway import OverloadConfig, run_overload_campaign
+
+    cfg = OverloadConfig(seed=args.seed, num_bursts=args.bursts,
+                         queue_depth=args.queue_depth)
+    report = run_overload_campaign(cfg)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.bench_out:
+        path = pathlib.Path(args.bench_out)
+        bench: dict = {"benchmark": "gateway_overload", "entries": []}
+        if path.exists():
+            bench = json.loads(path.read_text())
+        entry = report.bench_entry()
+        entries = [e for e in bench.get("entries", [])
+                   if e.get("seed") != entry["seed"]]
+        entries.append(entry)
+        bench["entries"] = sorted(entries, key=lambda e: e["seed"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(bench, indent=2) + "\n")
+        print(f"bench entry (seed {entry['seed']}) merged into {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_shard(args: argparse.Namespace) -> int:
     import json
 
@@ -1067,6 +1128,7 @@ def main(argv: list[str] | None = None) -> int:
         "calibrate": cmd_calibrate,
         "chaos": cmd_chaos,
         "standing": cmd_standing,
+        "overload": cmd_overload,
         "shard": cmd_shard,
         "ingest": cmd_ingest,
         "checkpoint": cmd_checkpoint,

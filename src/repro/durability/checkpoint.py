@@ -104,6 +104,9 @@ class Checkpoint:
     counters: dict = field(default_factory=dict)
     #: warm engines at checkpoint time, for recovery prewarm.
     engines: list[EngineRecipe] = field(default_factory=list)
+    #: idempotency dedup table at checkpoint time (key -> summary);
+    #: absent in pre-gateway checkpoints, which load as empty.
+    applied_keys: dict = field(default_factory=dict)
 
     def load_engine_artifact(self, recipe: EngineRecipe):
         """Unpickle one engine artifact (None when absent or broken)."""
@@ -203,6 +206,7 @@ def write_checkpoint(directory: str | Path, state: dict, *,
         "next_seg_id": int(state["next_seg_id"]),
         "tombstones": sorted(int(t) for t in state["tombstones"]),
         "counters": dict(state.get("counters", {})),
+        "applied_keys": dict(state.get("applied_keys", {})),
         "engines": recipes,
         "files": files,
     }
@@ -270,6 +274,7 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
         counters=dict(manifest.get("counters", {})),
         engines=[EngineRecipe.from_dict(r)
                  for r in manifest.get("engines", [])],
+        applied_keys=dict(manifest.get("applied_keys", {})),
     )
 
 

@@ -206,23 +206,32 @@ class DurabilityManager:
 
     def log_append(self, database: VersionedDatabase,
                    segments: SegmentArray, *,
-                   keep_seg_ids: bool = False) -> None:
+                   keep_seg_ids: bool = False,
+                   idempotency_key: str | None = None) -> None:
         """WAL one append *before* it is applied.  The payload is the
         caller's (pre-stamping) segments: replay re-runs
         :meth:`~repro.ingest.VersionedDatabase.append`, which assigns
         the identical seg_ids because ``next_seg_id`` is restored.
         ``keep_seg_ids`` appends (router-stamped global ids) persist the
-        flag so replay preserves the caller's ids the same way."""
+        flag so replay preserves the caller's ids the same way; an
+        ``idempotency_key`` rides in the record so replay re-registers
+        it in the dedup table — a client retry stays exactly-once even
+        when the crash landed between the WAL write and a checkpoint."""
         payload = {"segments": segments.to_dict()}
         if keep_seg_ids:
             payload["keep_seg_ids"] = True
+        if idempotency_key is not None:
+            payload["idempotency_key"] = str(idempotency_key)
         self._log("append", database.epoch + 1, payload)
 
     def log_delete(self, database: VersionedDatabase,
-                   traj_id: int) -> None:
+                   traj_id: int, *,
+                   idempotency_key: str | None = None) -> None:
         """WAL one tombstone before it is applied."""
-        self._log("delete", database.epoch + 1,
-                  {"traj_id": int(traj_id)})
+        payload: dict = {"traj_id": int(traj_id)}
+        if idempotency_key is not None:
+            payload["idempotency_key"] = str(idempotency_key)
+        self._log("delete", database.epoch + 1, payload)
 
     def log_compact(self, database: VersionedDatabase) -> None:
         """WAL one compaction before it is applied (replay re-runs the
@@ -281,6 +290,7 @@ class DurabilityManager:
                     "total_deletes": database.total_deletes,
                     "total_compactions": database.total_compactions,
                 },
+                "applied_keys": database.applied_keys,
             },
             engines=triples, kill=self.kill, kill_point=kill_point)
         wall_s = time.perf_counter() - wall0
@@ -338,7 +348,8 @@ class DurabilityManager:
             delta_epoch=checkpoint.delta_epoch,
             base_version=checkpoint.base_version,
             next_seg_id=checkpoint.next_seg_id,
-            counters=checkpoint.counters)
+            counters=checkpoint.counters,
+            applied_keys=checkpoint.applied_keys)
         scan = self.wal.read()
         if scan.torn_records:
             # Tolerating the torn final record means removing its
@@ -359,9 +370,14 @@ class DurabilityManager:
                 db.append(
                     SegmentArray.from_dict(record.payload["segments"]),
                     keep_seg_ids=bool(
-                        record.payload.get("keep_seg_ids", False)))
+                        record.payload.get("keep_seg_ids", False)),
+                    idempotency_key=record.payload.get(
+                        "idempotency_key"))
             elif record.op == "delete":
-                db.delete_trajectory(record.payload["traj_id"])
+                db.delete_trajectory(
+                    record.payload["traj_id"],
+                    idempotency_key=record.payload.get(
+                        "idempotency_key"))
             else:
                 db.compact()
             replayed += 1

@@ -111,6 +111,9 @@ class IngestReceipt:
     #: True when this append pushed the delta over the policy bounds
     #: (the owner decides when to actually run the compaction).
     compaction_due: bool
+    #: True when an idempotency key matched an already-applied append:
+    #: the receipt replays the original application, nothing mutated.
+    deduplicated: bool = False
 
     def to_dict(self) -> dict:
         """JSON-friendly representation."""
@@ -118,7 +121,8 @@ class IngestReceipt:
                 "num_segments": self.num_segments,
                 "trajectory_ids": list(self.trajectory_ids),
                 "seg_ids": list(self.seg_ids),
-                "compaction_due": self.compaction_due}
+                "compaction_due": self.compaction_due,
+                "deduplicated": self.deduplicated}
 
 
 @dataclass(frozen=True)
@@ -307,6 +311,10 @@ class VersionedDatabase:
         self._base_version = 0
         self._next_seg_id = int(base.seg_ids.max()) + 1
         self._snapshot: Snapshot | None = None
+        #: idempotency dedup table: client key -> JSON summary of the
+        #: mutation it already named (checkpointed and WAL-carried, so
+        #: retried client mutations stay exactly-once across a crash).
+        self._applied_keys: dict[str, dict] = {}
         #: lifetime counters (exposed through service stats).
         self.total_appends = 0
         self.total_appended_segments = 0
@@ -318,7 +326,9 @@ class VersionedDatabase:
                 tombstones, epoch: int, delta_epoch: int,
                 base_version: int, next_seg_id: int,
                 policy: CompactionPolicy | None = None,
-                counters: dict | None = None) -> "VersionedDatabase":
+                counters: dict | None = None,
+                applied_keys: dict | None = None
+                ) -> "VersionedDatabase":
         """Reconstruct a database at an exact physical state.
 
         Used by crash recovery (:mod:`repro.durability`): the arguments
@@ -339,6 +349,8 @@ class VersionedDatabase:
         for name in ("total_appends", "total_appended_segments",
                      "total_deletes", "total_compactions"):
             setattr(db, name, int((counters or {}).get(name, 0)))
+        db._applied_keys = {str(k): dict(v) for k, v
+                            in (applied_keys or {}).items()}
         return db
 
     # -- introspection -----------------------------------------------------------
@@ -373,6 +385,19 @@ class VersionedDatabase:
         checkpoints so WAL replay re-stamps identically)."""
         return self._next_seg_id
 
+    def applied_key(self, key: str) -> dict | None:
+        """The JSON summary of the mutation ``key`` already named, or
+        None when the key is fresh.  Callers check this *before*
+        WAL-logging a keyed mutation — a duplicate client retry must
+        neither re-log nor re-apply."""
+        entry = self._applied_keys.get(str(key))
+        return dict(entry) if entry is not None else None
+
+    @property
+    def applied_keys(self) -> dict[str, dict]:
+        """The idempotency dedup table (checkpointed verbatim)."""
+        return {k: dict(v) for k, v in self._applied_keys.items()}
+
     def should_compact(self) -> bool:
         """Has the delta (or tombstone load) crossed the policy bounds?"""
         return self.policy.should_compact(
@@ -393,6 +418,7 @@ class VersionedDatabase:
             "appended_segments": self.total_appended_segments,
             "deletes": self.total_deletes,
             "compactions": self.total_compactions,
+            "idempotency_keys": len(self._applied_keys),
         }
 
     # -- reads -------------------------------------------------------------------
@@ -461,7 +487,8 @@ class VersionedDatabase:
 
     def append(self, segments: SegmentArray | Trajectory |
                list[Trajectory], *,
-               keep_seg_ids: bool = False) -> IngestReceipt:
+               keep_seg_ids: bool = False,
+               idempotency_key: str | None = None) -> IngestReceipt:
         """Append new segments to the delta log.
 
         Accepts a :class:`Trajectory`, a list of them, or a raw
@@ -476,8 +503,19 @@ class VersionedDatabase:
         trajectory id is rejected: the tombstone hides *all* segments of
         that id, so the append would be silently invisible; re-use the
         id after a compaction has physically dropped the old rows.
+
+        ``idempotency_key`` registers the append in the dedup table; a
+        key that is already registered raises — the owner must consult
+        :meth:`applied_key` first and replay the stored receipt instead
+        of re-applying (exactly-once under client retries).
         """
         segments = as_segments(segments)
+        if idempotency_key is not None \
+                and str(idempotency_key) in self._applied_keys:
+            raise IngestError(
+                f"idempotency key {idempotency_key!r} was already "
+                f"applied; look it up with applied_key() instead of "
+                f"re-appending")
         self.check_append(segments, keep_seg_ids=keep_seg_ids)
         n = len(segments)
         if keep_seg_ids:
@@ -496,19 +534,31 @@ class VersionedDatabase:
         self._bump(delta=True)
         self.total_appends += 1
         self.total_appended_segments += n
-        return IngestReceipt(
+        receipt = IngestReceipt(
             epoch=self._epoch, delta_epoch=self._delta_epoch,
             num_segments=n,
             trajectory_ids=tuple(int(t) for t in
                                  np.unique(stamped.traj_ids)),
             seg_ids=tuple(int(s) for s in seg_ids),
             compaction_due=self.should_compact())
+        if idempotency_key is not None:
+            self._applied_keys[str(idempotency_key)] = {
+                "op": "append", **receipt.to_dict()}
+        return receipt
 
-    def delete_trajectory(self, traj_id: int) -> int:
+    def delete_trajectory(self, traj_id: int, *,
+                          idempotency_key: str | None = None) -> int:
         """Tombstone one trajectory; returns the number of segments the
         tombstone hides (base + delta).  Deleting an unknown id raises
-        (a typo should not silently 'succeed')."""
+        (a typo should not silently 'succeed').  ``idempotency_key``
+        registers the delete in the dedup table (see :meth:`append`)."""
         traj_id = int(traj_id)
+        if idempotency_key is not None \
+                and str(idempotency_key) in self._applied_keys:
+            raise IngestError(
+                f"idempotency key {idempotency_key!r} was already "
+                f"applied; look it up with applied_key() instead of "
+                f"re-deleting")
         if not self.check_delete(traj_id):
             return 0
         hidden = int((self._base.traj_ids == traj_id).sum())
@@ -517,6 +567,10 @@ class VersionedDatabase:
         self._tombstones.add(traj_id)
         self._bump(delta=True)
         self.total_deletes += 1
+        if idempotency_key is not None:
+            self._applied_keys[str(idempotency_key)] = {
+                "op": "delete", "epoch": self._epoch,
+                "traj_id": traj_id, "hidden": hidden}
         return hidden
 
     def compact(self) -> CompactionResult:

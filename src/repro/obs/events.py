@@ -56,21 +56,40 @@ class Event:
 
 
 class EventLog:
-    """Bounded, append-only sequence of :class:`Event` records."""
+    """Bounded, append-only sequence of :class:`Event` records.
 
-    def __init__(self, *, maxlen: int = 10_000,
+    The bound is a ring buffer: once ``maxlen`` events are held, each
+    new :meth:`emit` silently evicts the oldest record and increments
+    ``dropped_events`` — long campaigns keep a flat memory footprint
+    and the counter says how much history the ring discarded.
+    ``maxlen=None`` disables the bound (unbounded growth).
+    """
+
+    def __init__(self, *, maxlen: int | None = 10_000,
                  enabled: bool = True) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError("maxlen must be >= 1 (or None)")
         self.enabled = enabled
         self._events: deque[Event] = deque(maxlen=maxlen)
         #: lines :meth:`from_jsonl` skipped as corrupt or torn.
         self.corrupt_lines = 0
+        #: oldest events overwritten by the ring bound.
+        self.dropped_events = 0
+
+    @property
+    def maxlen(self) -> int | None:
+        """The ring bound (None = unbounded)."""
+        return self._events.maxlen
 
     def emit(self, kind: str, **fields) -> Event | None:
         """Record one event now; returns it (None when disabled)."""
         if not self.enabled:
             return None
+        ring = self._events
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped_events += 1
         event = Event(kind=kind, ts=time.time(), fields=fields)
-        self._events.append(event)
+        ring.append(event)
         return event
 
     def __len__(self) -> int:
@@ -98,7 +117,7 @@ class EventLog:
         return path
 
     @classmethod
-    def from_jsonl(cls, text: str, *, maxlen: int = 10_000
+    def from_jsonl(cls, text: str, *, maxlen: int | None = 10_000
                    ) -> "EventLog":
         """Inverse of :meth:`to_jsonl`.
 

@@ -43,12 +43,14 @@ class Telemetry:
     slow_query_threshold_s:
         Modeled-latency threshold for the slow-query log.
     events_maxlen:
-        Bound on the structured event log.
+        Ring-buffer bound on the structured event log (None =
+        unbounded); overwritten history is counted in
+        ``events.dropped_events``.
     """
 
     def __init__(self, *, enabled: bool = True,
                  slow_query_threshold_s: float = 1.0,
-                 events_maxlen: int = 10_000) -> None:
+                 events_maxlen: int | None = 10_000) -> None:
         self.enabled = enabled
         self.metrics = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(enabled=enabled)

@@ -72,9 +72,9 @@ from ..engines.cpu_scan import CpuScanEngine
 from ..gpu.costmodel import CostBreakdown, CpuCostModel, GpuCostModel
 from ..gpu.device import DeviceSpec, TESLA_C2075, VirtualGPU
 from ..gpu.profiler import CpuSearchProfile, RequestMetrics, SearchProfile
-from ..ingest import (CompactionPolicy, CompactionResult, IngestReceipt,
-                      Snapshot, VersionedDatabase, as_segments,
-                      overlay_search)
+from ..ingest import (CompactionPolicy, CompactionResult, IngestError,
+                      IngestReceipt, Snapshot, VersionedDatabase,
+                      as_segments, overlay_search)
 from ..obs import Telemetry
 from ..standing import (StandingPolicy, StandingQueryManager,
                         StandingStore, Subscription)
@@ -333,6 +333,9 @@ class QueryService:
         #: ground truth (expected to stay empty).
         self.crosscheck_mismatches: list[str] = []
         self._breakers: dict[str, CircuitBreaker] = {}
+        #: last gauged breaker/lane states, for transition counters.
+        self._breaker_states: dict[str, str] = {}
+        self._lane_states: dict[int, str] = {}
         self._truth_cache: tuple[int, CpuScanEngine] | None = None
         self._shard_cache: dict[tuple, list[SegmentArray]] = {}
         self._fp_version = -1
@@ -444,7 +447,8 @@ class QueryService:
     # -- ingestion ---------------------------------------------------------------
 
     def ingest(self, segments, *,
-               keep_seg_ids: bool = False) -> IngestReceipt:
+               keep_seg_ids: bool = False,
+               idempotency_key: str | None = None) -> IngestReceipt:
         """Append trajectory segments without rebuilding the base index.
 
         Accepts whatever :meth:`~repro.ingest.VersionedDatabase.append`
@@ -458,18 +462,31 @@ class QueryService:
         append pushes the delta over the compaction policy and
         ``auto_compact`` is on, compaction runs before returning (off
         the query hot path — no request is in flight between batches).
+
+        ``idempotency_key`` makes the append exactly-once under client
+        retries: a key already in the dedup table short-circuits —
+        nothing is WAL-logged or applied, and the original receipt is
+        returned with ``deduplicated=True``.  The table is carried in
+        WAL records and checkpoints, so dedup survives a crash/recover.
         """
         with self.telemetry.activate(), \
                 self.telemetry.span("service.ingest") as span:
             segments = as_segments(segments)
+            if idempotency_key is not None:
+                prior = self.versioned.applied_key(idempotency_key)
+                if prior is not None:
+                    return self._replay_receipt(idempotency_key, prior)
             if self.durability is not None:
                 # WAL discipline: validate, log + sync, then apply.
                 self.versioned.check_append(segments,
                                             keep_seg_ids=keep_seg_ids)
-                self.durability.log_append(self.versioned, segments,
-                                           keep_seg_ids=keep_seg_ids)
-            receipt = self.versioned.append(segments,
-                                            keep_seg_ids=keep_seg_ids)
+                self.durability.log_append(
+                    self.versioned, segments,
+                    keep_seg_ids=keep_seg_ids,
+                    idempotency_key=idempotency_key)
+            receipt = self.versioned.append(
+                segments, keep_seg_ids=keep_seg_ids,
+                idempotency_key=idempotency_key)
             span.set_attributes(epoch=receipt.epoch,
                                 segments=receipt.num_segments)
             reg = self.telemetry.metrics
@@ -491,21 +508,65 @@ class QueryService:
             self._maybe_checkpoint()
         return receipt
 
-    def delete_trajectory(self, traj_id: int) -> int:
+    def _replay_receipt(self, key: str, prior: dict) -> IngestReceipt:
+        """Rebuild the receipt a deduplicated ingest retry gets."""
+        if prior.get("op") != "append":
+            raise IngestError(
+                f"idempotency key {key!r} named a "
+                f"{prior.get('op')!r} mutation, not an append")
+        self.telemetry.metrics.counter(
+            "repro_idempotent_dedups_total",
+            "keyed mutation retries deduplicated").inc(op="append")
+        self.telemetry.events.emit(
+            "idempotent_dedup", op="append", key=str(key),
+            epoch=int(prior["epoch"]))
+        return IngestReceipt(
+            epoch=int(prior["epoch"]),
+            delta_epoch=int(prior["delta_epoch"]),
+            num_segments=int(prior["num_segments"]),
+            trajectory_ids=tuple(int(t)
+                                 for t in prior["trajectory_ids"]),
+            seg_ids=tuple(int(s) for s in prior["seg_ids"]),
+            compaction_due=bool(prior["compaction_due"]),
+            deduplicated=True)
+
+    def delete_trajectory(self, traj_id: int, *,
+                          idempotency_key: str | None = None) -> int:
         """Tombstone one trajectory; its segments disappear from query
         results at refinement time.  The base index is untouched — the
         rows are physically dropped at the next compaction.  Returns
-        the number of segments hidden."""
+        the number of segments hidden.  ``idempotency_key`` deduplicates
+        client retries exactly like :meth:`ingest`."""
         with self.telemetry.activate(), \
                 self.telemetry.span("service.delete",
                                     traj_id=int(traj_id)):
+            if idempotency_key is not None:
+                prior = self.versioned.applied_key(idempotency_key)
+                if prior is not None:
+                    if prior.get("op") != "delete":
+                        raise IngestError(
+                            f"idempotency key {idempotency_key!r} "
+                            f"named a {prior.get('op')!r} mutation, "
+                            f"not a delete")
+                    self.telemetry.metrics.counter(
+                        "repro_idempotent_dedups_total",
+                        "keyed mutation retries deduplicated").inc(
+                        op="delete")
+                    self.telemetry.events.emit(
+                        "idempotent_dedup", op="delete",
+                        key=str(idempotency_key),
+                        epoch=int(prior["epoch"]))
+                    return int(prior["hidden"])
             if self.durability is not None \
                     and self.versioned.check_delete(traj_id):
                 # Only a delete that actually mutates is logged: an
                 # already-tombstoned id is a no-op that must not
                 # consume an epoch in the WAL.
-                self.durability.log_delete(self.versioned, traj_id)
-            hidden = self.versioned.delete_trajectory(traj_id)
+                self.durability.log_delete(
+                    self.versioned, traj_id,
+                    idempotency_key=idempotency_key)
+            hidden = self.versioned.delete_trajectory(
+                traj_id, idempotency_key=idempotency_key)
             reg = self.telemetry.metrics
             reg.counter("repro_tombstones_total",
                         "trajectories tombstoned").inc()
@@ -1423,6 +1484,17 @@ class QueryService:
             "repro_breaker_state",
             "per-engine breaker: 0 closed / 1 half-open / 2 open").set(
             breaker.state_code, engine=method)
+        prev = self._breaker_states.get(method, "closed")
+        if breaker.state != prev:
+            self._breaker_states[method] = breaker.state
+            self.telemetry.metrics.counter(
+                "repro_breaker_transitions_total",
+                "breaker state transitions (labeled from/to)").inc(
+                engine=method, from_state=prev,
+                to_state=breaker.state)
+            self.telemetry.events.emit(
+                "breaker_transition", engine=method,
+                from_state=prev, to_state=breaker.state)
 
     def _note_breaker_skip(self, request: SearchRequest,
                            method: str) -> None:
@@ -1446,11 +1518,22 @@ class QueryService:
             error=f"{type(exc).__name__}: {exc}")
 
     def _gauge_lane(self, lane_idx: int) -> None:
+        health = self.pool.lanes[lane_idx].health
         self.telemetry.metrics.gauge(
             "repro_lane_state",
             "lane health: 0 healthy / 1 probation / 2 quarantined").set(
-            self.pool.lanes[lane_idx].health.state_code,
-            lane=str(lane_idx))
+            health.state_code, lane=str(lane_idx))
+        prev = self._lane_states.get(lane_idx, "healthy")
+        if health.state != prev:
+            self._lane_states[lane_idx] = health.state
+            self.telemetry.metrics.counter(
+                "repro_lane_transitions_total",
+                "lane health transitions (labeled from/to)").inc(
+                lane=str(lane_idx), from_state=prev,
+                to_state=health.state)
+            self.telemetry.events.emit(
+                "lane_transition", lane=lane_idx,
+                from_state=prev, to_state=health.state)
 
     def _note_lane_failure(self, lane_idx: int, exc: Exception) -> None:
         if lane_idx == DevicePool.HOST_LANE:

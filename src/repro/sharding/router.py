@@ -55,6 +55,7 @@ import numpy as np
 from ..core.result import ResultSet
 from ..core.search import SearchOutcome
 from ..core.types import SegmentArray
+from ..engines.base import Deadline
 from ..gpu.costmodel import CostBreakdown
 from ..gpu.profiler import CpuSearchProfile, RequestMetrics, SearchProfile
 from ..ingest import IngestError, as_segments
@@ -181,6 +182,10 @@ class ShardedService:
         self.service_kwargs["auto_compact"] = False
         self._next_seg_id = int(database.seg_ids.max()) + 1
         self._tombstones: set[int] = set()
+        #: router-level idempotency dedup table (key -> receipt); the
+        #: router is the single writer stamping global seg_ids, so a
+        #: retried keyed mutation must dedup *before* re-stamping.
+        self._applied_keys: dict[str, dict] = {}
         self._requests = 0
         self._partial_answers = 0
         self._kill_rotation = 0
@@ -228,6 +233,14 @@ class ShardedService:
     def _counter(self, name: str, help_text: str):
         return self.telemetry.metrics.counter(name, help_text)
 
+    def _note_dedup(self, op: str, key: str) -> None:
+        """Count + log one idempotent-retry dedup hit at the router."""
+        self._counter("repro_idempotent_dedups_total",
+                      "mutations deduplicated by idempotency key").inc(
+            op=op)
+        self.telemetry.events.emit("idempotent_dedup", op=op,
+                                   key=str(key), component="router")
+
     def _mark_dead(self, replica: Replica, reason: str) -> None:
         """A replica that failed a *mutation* is divergent: kill it so
         it can rejoin through the op-log path instead of serving stale
@@ -254,10 +267,21 @@ class ShardedService:
             parts: list[tuple[Shard, SearchResponse]] = []
             missing: list[int] = []
             rejection: SearchResponse | None = None
+            # One wall-clock budget for the whole scatter: each shard
+            # leg gets the *remaining* budget, never a fresh one, and
+            # an exhausted budget is a typed rejection — never
+            # "partial", never a dispatch with a non-positive budget.
+            deadline = (Deadline.after(request.deadline_s)
+                        if request.deadline_s is not None else None)
             for shard in self.shards:
                 if not shard.replicas:
                     continue  # structurally empty shard: owns no rows
-                kind, resp = self._serve_shard(shard, request)
+                if deadline is not None \
+                        and deadline.remaining_s() <= 0.0:
+                    rejection = rejection or self._deadline_reject(
+                        request, where="pre-scatter")
+                    break
+                kind, resp = self._serve_shard(shard, request, deadline)
                 if kind == "ok":
                     parts.append((shard, resp))
                 elif kind == "reject":
@@ -277,11 +301,19 @@ class ShardedService:
         request run concurrently in the modeled-time sense)."""
         return [self.submit(r) for r in requests]
 
-    def _leg_request(self, request: SearchRequest,
-                     shard: Shard) -> SearchRequest:
+    def _leg_request(self, request: SearchRequest, shard: Shard,
+                     budget_s: float | None) -> SearchRequest:
+        """One shard sub-request.  Its deadline is the tighter of the
+        per-leg ``shard_deadline_s`` and the *remaining* request budget
+        (``budget_s``) — a replica never receives a budget larger than
+        what is actually left, and the caller guarantees ``budget_s``
+        is positive before building the leg."""
         deadline = (self.shard_deadline_s
                     if self.shard_deadline_s is not None
                     else request.deadline_s)
+        if budget_s is not None:
+            deadline = (budget_s if deadline is None
+                        else min(deadline, budget_s))
         return SearchRequest(
             queries=request.queries, d=request.d,
             method=request.method, params=dict(request.params),
@@ -289,7 +321,26 @@ class ShardedService:
             deadline_s=deadline,
             request_id=f"{request.request_id}#s{shard.index}")
 
-    def _serve_shard(self, shard: Shard, request: SearchRequest
+    def _deadline_reject(self, request: SearchRequest,
+                         where: str) -> SearchResponse:
+        """Typed rejection for a budget exhausted at the router —
+        before a replica ever sees the request."""
+        self._counter(
+            "repro_router_deadline_rejects_total",
+            "requests rejected at the router on an exhausted "
+            "deadline").inc()
+        self.telemetry.events.emit(
+            "router_deadline_exhausted",
+            request_id=request.request_id, where=where)
+        return SearchResponse(
+            request_id=request.request_id, outcome=None,
+            metrics=RequestMetrics(engine="router"),
+            status="deadline_exceeded",
+            reason=f"request budget exhausted at the router "
+                   f"({where}); no replica was dispatched")
+
+    def _serve_shard(self, shard: Shard, request: SearchRequest,
+                     deadline: Deadline | None = None
                      ) -> tuple[str, SearchResponse | None]:
         """Walk one shard's replica ladder; returns ``("ok", resp)``,
         ``("reject", resp)`` (typed rejection from a live replica), or
@@ -304,6 +355,16 @@ class ShardedService:
             for replica in order:
                 if not replica.live:
                     continue
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline.remaining_s()
+                    if remaining <= 0.0:
+                        # Budget gone mid-ladder: stop hedging; a
+                        # replica must never see a non-positive budget.
+                        rejection = rejection or self._deadline_reject(
+                            request, where=f"shard {shard.index} "
+                                           f"ladder")
+                        break
                 now = self._now()
                 if not replica.breaker.allow(now):
                     self._counter(
@@ -318,7 +379,7 @@ class ShardedService:
                                   "hedged retries to another replica"
                                   ).inc(shard=str(shard.index))
                 attempts += 1
-                leg = self._leg_request(request, shard)
+                leg = self._leg_request(request, shard, remaining)
                 try:
                     resp = replica.service.submit(leg)
                 except Exception as exc:  # noqa: BLE001 - failover boundary
@@ -374,7 +435,11 @@ class ShardedService:
         if rejection is not None:
             # A live replica answered with a typed rejection: the whole
             # request is rejected (never downgraded to "partial" — a
-            # busy shard is not a dead shard).
+            # busy shard is not a dead shard).  A router-originated
+            # rejection (deadline exhausted pre-dispatch) passes
+            # through verbatim.
+            if rejection.metrics.engine == "router":
+                return rejection
             return SearchResponse(
                 request_id=request.request_id, outcome=None,
                 metrics=RequestMetrics(engine="router"),
@@ -493,11 +558,26 @@ class ShardedService:
 
     # -- mutations ---------------------------------------------------------------
 
-    def ingest(self, segments) -> dict:
+    def ingest(self, segments, *,
+               idempotency_key: str | None = None) -> dict:
         """Stamp, route, and replicate one append; returns a receipt
-        with the per-shard routing and epochs."""
+        with the per-shard routing and epochs.  ``idempotency_key``
+        deduplicates client retries: a known key returns the original
+        receipt (``deduplicated: True``) without re-stamping or
+        re-routing anything."""
         with self.telemetry.activate(), \
                 self.telemetry.span("router.ingest") as span:
+            if idempotency_key is not None:
+                prior = self._applied_keys.get(str(idempotency_key))
+                if prior is not None:
+                    if prior.get("op") != "append":
+                        raise IngestError(
+                            f"idempotency key {idempotency_key!r} "
+                            f"named a {prior.get('op')!r} mutation, "
+                            f"not an append")
+                    self._note_dedup("append", idempotency_key)
+                    return {**{k: v for k, v in prior.items()
+                               if k != "op"}, "deduplicated": True}
             segments = as_segments(segments)
             if len(segments) == 0:
                 raise IngestError("nothing to append: the segment set "
@@ -528,14 +608,29 @@ class ShardedService:
                                 shards=len(receipt["routed"]))
             self._counter("repro_router_ingest_total",
                           "router appends").inc()
+            if idempotency_key is not None:
+                self._applied_keys[str(idempotency_key)] = {
+                    "op": "append", **receipt}
             return receipt
 
-    def delete_trajectory(self, traj_id: int) -> int:
+    def delete_trajectory(self, traj_id: int, *,
+                          idempotency_key: str | None = None) -> int:
         """Tombstone one trajectory on every shard holding it; returns
-        the total number of segments hidden."""
+        the total number of segments hidden.  ``idempotency_key``
+        deduplicates client retries the same way :meth:`ingest` does."""
         with self.telemetry.activate(), \
                 self.telemetry.span("router.delete",
                                     traj_id=int(traj_id)):
+            if idempotency_key is not None:
+                prior = self._applied_keys.get(str(idempotency_key))
+                if prior is not None:
+                    if prior.get("op") != "delete":
+                        raise IngestError(
+                            f"idempotency key {idempotency_key!r} "
+                            f"named a {prior.get('op')!r} mutation, "
+                            f"not a delete")
+                    self._note_dedup("delete", idempotency_key)
+                    return int(prior["hidden"])
             tid = int(traj_id)
             if tid in self._tombstones:
                 return 0
@@ -556,6 +651,9 @@ class ShardedService:
             self.plan.note_delete(tid)
             self._counter("repro_router_deletes_total",
                           "router tombstones").inc()
+            if idempotency_key is not None:
+                self._applied_keys[str(idempotency_key)] = {
+                    "op": "delete", "traj_id": tid, "hidden": hidden}
             return hidden
 
     def compact(self, shard_index: int | None = None) -> None:

@@ -469,3 +469,43 @@ class TestKeepSegIdsReplay:
         appends = [r for r in records if r.op == "append"]
         assert appends[0].payload.get("keep_seg_ids") is True
         assert "keep_seg_ids" not in appends[1].payload
+
+
+class TestIdempotencyAcrossRecovery:
+    def test_wal_replay_recovers_the_dedup_table(self, tmp_path):
+        """A keyed mutation applied before a crash must dedup after
+        recovery — the WAL carries the keys."""
+        svc = QueryService(_db(), durability_dir=tmp_path / "state",
+                           auto_compact=False,
+                           durability=DurabilityPolicy(
+                               checkpoint_every=100))
+        fresh = _db(seed=9, n=1, steps=4, offset=500)
+        first = svc.ingest(fresh, idempotency_key="put-1")
+        svc.delete_trajectory(2, idempotency_key="del-2")
+        # Crash: abandon without shutdown; the WAL already synced.
+        svc2 = QueryService.recover(tmp_path / "state",
+                                    auto_compact=False)
+        again = svc2.ingest(fresh, idempotency_key="put-1")
+        assert again.deduplicated
+        assert again.epoch == first.epoch
+        assert svc2.versioned.epoch == svc.versioned.epoch
+        hidden = svc2.delete_trajectory(2, idempotency_key="del-2")
+        assert hidden > 0  # replayed receipt, not a 0-row no-op
+        svc2.shutdown()
+
+    def test_checkpoint_carries_the_dedup_table(self, tmp_path):
+        """Keys must survive even when the WAL segment holding them is
+        truncated away by a checkpoint."""
+        svc = QueryService(_db(), durability_dir=tmp_path / "state",
+                           auto_compact=False,
+                           durability=DurabilityPolicy(
+                               checkpoint_every=100))
+        fresh = _db(seed=10, n=1, steps=4, offset=600)
+        first = svc.ingest(fresh, idempotency_key="put-2")
+        svc.checkpoint()
+        svc.shutdown()
+        svc2 = QueryService.recover(tmp_path / "state",
+                                    auto_compact=False)
+        again = svc2.ingest(fresh, idempotency_key="put-2")
+        assert again.deduplicated and again.epoch == first.epoch
+        svc2.shutdown()

@@ -194,6 +194,26 @@ class TestEvents:
         assert len(log) == 3
         assert [e.fields["i"] for e in log] == [2, 3, 4]
 
+    def test_ring_counts_every_drop(self):
+        """The bound is a ring, and evictions are observable: a long
+        campaign can report how much history it shed."""
+        log = EventLog(maxlen=2)
+        assert log.dropped_events == 0
+        for i in range(7):
+            log.emit("e", i=i)
+        assert log.dropped_events == 5
+        assert [e.fields["i"] for e in log] == [5, 6]
+
+    def test_unbounded_log_never_drops(self):
+        log = EventLog(maxlen=None)
+        for i in range(50):
+            log.emit("e", i=i)
+        assert len(log) == 50 and log.dropped_events == 0
+
+    def test_maxlen_validated(self):
+        with pytest.raises(ValueError, match="maxlen"):
+            EventLog(maxlen=0)
+
     def test_event_dict_round_trip(self):
         ev = Event(kind="retry", ts=12.5, fields={"attempt": 2})
         assert Event.from_dict(json.loads(

@@ -349,3 +349,93 @@ class TestSerialization:
         assert prof.num_kernel_invocations == orig.num_kernel_invocations
         assert prof.total_comparisons == orig.total_comparisons
         assert prof.kernel_stats[0].thread_work.dtype == np.int64
+
+
+class TestIdempotentMutations:
+    def _fresh(self, seed, offset=4000):
+        from repro.core.types import Trajectory
+        from tests.conftest import make_walk_trajectories
+        from repro.core.types import SegmentArray
+        trajs = [Trajectory(t.traj_id + offset, t.times, t.positions)
+                 for t in make_walk_trajectories(1, 5, seed=seed)]
+        return SegmentArray.from_trajectories(trajs)
+
+    def test_keyed_ingest_applies_exactly_once(self, small_db):
+        svc = QueryService(small_db, num_devices=1)
+        fresh = self._fresh(21)
+        first = svc.ingest(fresh, idempotency_key="put-1")
+        assert not first.deduplicated
+        again = svc.ingest(fresh, idempotency_key="put-1")
+        assert again.deduplicated
+        assert again.epoch == first.epoch
+        assert again.seg_ids == first.seg_ids
+        assert svc.versioned.epoch == first.epoch  # nothing re-applied
+        assert svc.telemetry.metrics.counter(
+            "repro_idempotent_dedups_total").value(op="append") == 1
+        svc.shutdown()
+
+    def test_keyed_delete_replays_the_receipt(self, small_db):
+        svc = QueryService(small_db, num_devices=1)
+        first = svc.delete_trajectory(0, idempotency_key="del-0")
+        assert first > 0
+        # An unkeyed retry sees an already-hidden trajectory (0); the
+        # keyed retry replays the original receipt instead.
+        assert svc.delete_trajectory(0, idempotency_key="del-0") == \
+            first
+        assert svc.telemetry.metrics.counter(
+            "repro_idempotent_dedups_total").value(op="delete") == 1
+        svc.shutdown()
+
+    def test_key_cannot_cross_operation_kinds(self, small_db):
+        from repro.ingest import IngestError
+        svc = QueryService(small_db, num_devices=1)
+        svc.ingest(self._fresh(22, offset=4100),
+                   idempotency_key="mut-1")
+        with pytest.raises(IngestError, match="named a"):
+            svc.delete_trajectory(1, idempotency_key="mut-1")
+        svc.shutdown()
+
+
+class TestTransitionMetrics:
+    def test_breaker_transitions_are_labeled_counters(self, small_db,
+                                                      small_queries):
+        from repro.faults import FaultInjector, FaultSpec
+        inj = FaultInjector(
+            [FaultSpec(kind="kernel_abort", count=1)], seed=0)
+        svc = QueryService(small_db, faults=inj, breaker_threshold=1,
+                           breaker_reset_s=1e-12)
+        req = _request(small_queries, method="gpu_temporal")
+        svc.submit(req)  # abort: closed -> open
+        req.request_id = "r1"
+        # The reopened probe succeeds; the next gauge sample sees the
+        # breaker back at closed (half_open is transient within the
+        # submit, so the observed transition is open -> closed).
+        svc.submit(req)
+        counter = svc.telemetry.metrics.counter(
+            "repro_breaker_transitions_total")
+        assert counter.value(engine="gpu_temporal",
+                             from_state="closed",
+                             to_state="open") == 1
+        assert counter.value(engine="gpu_temporal",
+                             from_state="open",
+                             to_state="closed") == 1
+        kinds = [e.fields for e in
+                 svc.telemetry.events.of_kind("breaker_transition")]
+        assert {"engine": "gpu_temporal", "from_state": "closed",
+                "to_state": "open"} in kinds
+        svc.shutdown()
+
+    def test_lane_transitions_are_labeled_counters(self, small_db,
+                                                   small_queries):
+        from repro.faults import FaultInjector, FaultSpec
+        inj = FaultInjector([FaultSpec(kind="oom", count=1)], seed=0)
+        svc = QueryService(small_db, faults=inj,
+                           lane_failure_threshold=1,
+                           lane_quarantine_s=1e9)
+        svc.submit(_request(small_queries, method="gpu_temporal"))
+        counter = svc.telemetry.metrics.counter(
+            "repro_lane_transitions_total")
+        assert counter.value(lane="0", from_state="healthy",
+                             to_state="quarantined") == 1
+        assert svc.telemetry.events.of_kind("lane_transition")
+        svc.shutdown()

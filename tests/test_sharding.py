@@ -437,3 +437,132 @@ class TestShardCampaign:
         assert not report.ok
         report.fired_by_kind["shard_blackout"] = 1
         assert report.ok
+
+
+class TestDeadlinePropagation:
+    def test_exhausted_budget_is_typed_never_partial(self, queries,
+                                                     tmp_path):
+        """A budget that is gone before the scatter must come back as
+        deadline_exceeded from the router itself — not as a vacuously
+        'partial' answer over whichever shards happened to finish."""
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            req = SearchRequest(queries=queries, d=D,
+                                method="cpu_scan", request_id="dl0",
+                                deadline_s=1e-12)
+            resp = svc.submit(req)
+            assert resp.status == "deadline_exceeded"
+            assert not resp.partial and resp.missing_shards == ()
+            assert resp.metrics.engine == "router"
+            assert "no replica was dispatched" in resp.reason
+            reg = svc.telemetry.metrics
+            assert reg.counter(
+                "repro_router_deadline_rejects_total").total() >= 1
+
+    def test_dead_budget_beats_partial_even_under_blackout(
+            self, queries, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            svc.blackout_shard(1)
+            req = SearchRequest(queries=queries, d=D,
+                                method="cpu_scan", request_id="dl1",
+                                deadline_s=1e-12)
+            resp = svc.submit(req)
+            assert resp.status == "deadline_exceeded"
+            assert not resp.partial
+
+    def test_no_replica_ever_sees_a_nonpositive_budget(self, queries,
+                                                       tmp_path):
+        """Slow legs burn the scatter's shared budget; downstream
+        shards must either get the positive remainder or a router-side
+        rejection — never a dispatch with deadline_s <= 0."""
+        import time as _time
+
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            leg_budgets = []
+            for shard in svc.shards:
+                for replica in shard.replicas:
+                    orig = replica.service.submit
+
+                    def slow(request, _orig=orig):
+                        leg_budgets.append(request.deadline_s)
+                        _time.sleep(0.06)
+                        return _orig(request)
+
+                    replica.service.submit = slow
+            req = SearchRequest(queries=queries, d=D,
+                                method="cpu_scan", request_id="dl2",
+                                deadline_s=0.1)
+            resp = svc.submit(req)
+            # Two 60ms legs exhaust the 100ms budget mid-scatter.
+            assert resp.status == "deadline_exceeded"
+            assert leg_budgets, "no shard leg was dispatched at all"
+            assert all(b is not None and b > 0 for b in leg_budgets)
+            assert len(leg_budgets) < 2 * len(svc.shards)
+
+    def test_leg_budget_never_exceeds_the_remaining_budget(
+            self, queries, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            leg_budgets = []
+            for shard in svc.shards:
+                for replica in shard.replicas:
+                    orig = replica.service.submit
+
+                    def spy(request, _orig=orig):
+                        leg_budgets.append(request.deadline_s)
+                        return _orig(request)
+
+                    replica.service.submit = spy
+            req = SearchRequest(queries=queries, d=D,
+                                method="cpu_scan", request_id="dl3",
+                                deadline_s=30.0)
+            assert svc.submit(req).status == "ok"
+            assert len(leg_budgets) == 3
+            assert all(0 < b <= 30.0 for b in leg_budgets)
+
+
+class TestRouterIdempotency:
+    def test_keyed_ingest_applies_exactly_once(self, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            fresh = _db(1, 5, seed=33, offset=800)
+            first = svc.ingest(fresh, idempotency_key="put-9")
+            epochs = {s.index: s.epoch for s in svc.shards}
+            again = svc.ingest(fresh, idempotency_key="put-9")
+            assert again["deduplicated"] is True
+            assert again["segments"] == first["segments"]
+            assert again["routed"] == first["routed"]
+            # Nothing re-applied: every shard epoch is unchanged.
+            assert {s.index: s.epoch for s in svc.shards} == epochs
+            assert svc.telemetry.metrics.counter(
+                "repro_idempotent_dedups_total").value(op="append") \
+                == 1
+
+    def test_keyed_delete_replays_the_receipt(self, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            first = svc.delete_trajectory(3, idempotency_key="del-3")
+            assert first > 0
+            again = svc.delete_trajectory(3, idempotency_key="del-3")
+            assert again == first  # unkeyed retry would return 0
+            assert svc.delete_trajectory(3) == 0
+            assert svc.telemetry.metrics.counter(
+                "repro_idempotent_dedups_total").value(op="delete") \
+                == 1
+
+    def test_key_cannot_cross_operation_kinds(self, tmp_path):
+        db = _db()
+        with ShardedService(db, num_shards=3,
+                            durability_root=tmp_path) as svc:
+            svc.ingest(_db(1, 5, seed=34, offset=850),
+                       idempotency_key="mut-1")
+            with pytest.raises(IngestError, match="named a"):
+                svc.delete_trajectory(2, idempotency_key="mut-1")
